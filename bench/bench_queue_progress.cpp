@@ -1,0 +1,63 @@
+// Ablation: the price of wait-freedom at the data-structure level.
+// Compares the two wait-free queues of the paper's evaluation (KP,
+// CRTurn-style) against the classic lock-free Michael-Scott queue under
+// identical reclamation, isolating what the helping machinery costs —
+// context for the paper's observation that "queues generally do not
+// scale very well" (§5).
+
+#include <cstdio>
+#include <memory>
+
+#include "core/wfe.hpp"
+#include "ds/crturn_queue.hpp"
+#include "ds/kp_queue.hpp"
+#include "ds/ms_queue.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using namespace wfe;
+
+template <template <class, class> class Q>
+void run_queue(const char* label, const harness::Workload& w,
+               harness::RunConfig rc, const std::vector<unsigned>& threads) {
+  std::printf("%-10s", label);
+  for (unsigned t : threads) {
+    reclaim::TrackerConfig cfg;
+    cfg.max_threads = t;
+    cfg.max_hes = 4;
+    core::WfeTracker tracker(cfg);
+    Q<std::uint64_t, core::WfeTracker> q(tracker);
+    util::Xoshiro256 rng(42);
+    for (std::uint64_t i = 0; i < w.prefill; ++i)
+      q.enqueue(rng.next_bounded(w.key_range) + 1, 0);
+    rc.threads = t;
+    auto r = harness::run_timed(
+        rc,
+        [&](util::Xoshiro256& g, unsigned tid) { harness::queue_op(q, w, g, tid); },
+        [&] { return tracker.unreclaimed(); });
+    std::printf("%12.3f", r.mops);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace wfe;
+  harness::Workload w{harness::OpMix::kQueue5050, 100000, 10000};
+  harness::RunConfig rc;
+  rc.seconds = harness::env_double("WFE_BENCH_SECONDS", 0.5);
+  rc.repeats = static_cast<unsigned>(harness::env_long("WFE_BENCH_REPEATS", 1));
+  const auto threads = harness::thread_sweep();
+
+  std::printf("=== Ablation: wait-free vs lock-free queues (WFE reclamation, "
+              "Mops/s) ===\n%-10s", "queue");
+  for (unsigned t : threads) std::printf("%10u th", t);
+  std::printf("\n");
+  run_queue<ds::MsQueue>("MS (LF)", w, rc, threads);
+  run_queue<ds::KpQueue>("KP (WF)", w, rc, threads);
+  run_queue<ds::CrTurnQueue>("CRTurn(WF)", w, rc, threads);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: the paper's Figure 2 scenario — a Treiber stack whose nodes
+// are reclaimed by Wait-Free Eras.
+//
+//   cmake --build build && ./build/examples/quickstart
+//
+// Shows the full API surface: configure a tracker, hand explicit thread
+// slots to workers, push/pop concurrently, and read reclamation stats.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/wfe.hpp"
+#include "ds/treiber_stack.hpp"
+
+int main() {
+  using namespace wfe;
+
+  // 1. Configure the reclamation domain: worst-case thread count and
+  //    reservation slots per thread (the stack needs one).
+  reclaim::TrackerConfig cfg;
+  cfg.max_threads = 4;
+  cfg.max_hes = 1;
+  core::WfeTracker tracker(cfg);
+
+  // 2. Build the structure on top of the tracker.
+  ds::TreiberStack<std::uint64_t, core::WfeTracker> stack(tracker);
+
+  // 3. Hammer it from several threads.  Thread identity is an explicit
+  //    slot id in [0, max_threads).
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> popped{0};
+  for (unsigned tid = 0; tid < cfg.max_threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      for (int i = 0; i < kPerThread; ++i) {
+        stack.push(tid * kPerThread + i, tid);
+        if (i % 2 == 0 && stack.pop(tid)) popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // 4. Reclamation happened concurrently and wait-free.
+  std::printf("pushed:   %u\n", cfg.max_threads * kPerThread);
+  std::printf("popped:   %llu\n",
+              static_cast<unsigned long long>(popped.load()));
+  std::printf("allocated:   %llu blocks\n",
+              static_cast<unsigned long long>(tracker.allocated()));
+  std::printf("freed:       %llu blocks (rest drain on destruction)\n",
+              static_cast<unsigned long long>(tracker.freed()));
+  std::printf("unreclaimed: %llu blocks pending\n",
+              static_cast<unsigned long long>(tracker.unreclaimed()));
+  return 0;
+}

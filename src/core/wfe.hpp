@@ -1,0 +1,301 @@
+#pragma once
+// Wait-Free Eras (WFE) — the paper's contribution (Figure 4).
+//
+// WFE runs Hazard Eras unchanged on the fast path.  When protect() fails
+// to observe a stable global era within `fast_path_attempts` tries, the
+// thread publishes a *help request* and enters the slow path.  The key
+// invariant (paper §3.3): alloc() and retire() never advance the global
+// era while an unserved help request exists — increment_era() first helps
+// every requester (help_thread()), so slow-path loops are bounded by the
+// number of in-flight incrementers (Lemmas 1-3) and every operation is
+// wait-free bounded (Theorems 1-3).
+//
+// Data layout (paper §3.2, Fig. 3):
+//  * reservations[tid][0..max_hes+1]: {era, tag} pairs.  Slots
+//    [0, max_hes) are the application's; slots max_hes ("parent") and
+//    max_hes+1 ("handover") are internal to help_thread().  The tag half
+//    identifies the slow-path cycle and increases monotonically, killing
+//    delayed (ABA) updates from stale helpers.
+//  * state[tid][0..max_hes): one slow-path request slot per reservation:
+//      result  — {pointer, era} pair; {invptr, tag} while a request is
+//                open, {value, era} once served (or {nullptr, ∞} when the
+//                owner cancels after succeeding on its own);
+//      era     — the parent block's alloc_era, pinning the parent for
+//                helpers (Lemma 4);
+//      pointer — address of the hazardous std::atomic the helper must read.
+//  * counter_start/counter_end — F&A counters; cs != ce means requests may
+//    be open, and cs moving means new requesters arrived (used by the
+//    cleanup() scanning discipline, Lemma 5 / Theorem 4).
+//
+// API deviation from HE (paper §3.4): protect() takes the *parent* block
+// containing the hazardous reference (nullptr for roots), so helpers can
+// pin it while they dereference on the requester's behalf.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "reclaim/block.hpp"
+#include "reclaim/tracker.hpp"
+#include "util/atomics.hpp"
+#include "util/cacheline.hpp"
+
+namespace wfe::core {
+
+using reclaim::Block;
+using reclaim::kInfEra;
+using reclaim::kInvPtr;
+using reclaim::TrackerConfig;
+
+class WfeTracker : public reclaim::TrackerBase {
+ public:
+  explicit WfeTracker(const TrackerConfig& cfg)
+      : TrackerBase(cfg), slots_(cfg.max_threads) {
+    for (unsigned t = 0; t < cfg.max_threads; ++t) {
+      auto& s = slots_[t];
+      s.resv = std::make_unique<util::AtomicPair[]>(cfg.max_hes + 2);
+      for (unsigned j = 0; j < cfg.max_hes + 2; ++j)
+        s.resv[j].store_pair({kInfEra, 0}, std::memory_order_relaxed);
+      s.state = std::make_unique<SlowState[]>(cfg.max_hes);
+    }
+  }
+  ~WfeTracker() { drain_all_unsafe(); }
+
+  static constexpr const char* name() noexcept { return "WFE"; }
+
+  void begin_op(unsigned) noexcept {}
+
+  /// clear(): reset all application reservations; tags (the .B halves)
+  /// must survive — they number slow-path cycles across operations.
+  void end_op(unsigned tid) noexcept {
+    for (unsigned j = 0; j < cfg_.max_hes; ++j)
+      slots_[tid].resv[j].store_a(kInfEra, std::memory_order_release);
+  }
+
+  void clear_slot(unsigned idx, unsigned tid) noexcept {
+    slots_[tid].resv[idx].store_a(kInfEra, std::memory_order_release);
+  }
+
+  /// Slot `to` takes over protecting the era slot `from` holds.  Only the
+  /// era half is copied — the tag half numbers `to`'s own slow-path
+  /// cycles and must not be disturbed.
+  void copy_slot(unsigned from, unsigned to, unsigned tid) noexcept {
+    slots_[tid].resv[to].store_a(slots_[tid].resv[from].load_a(std::memory_order_relaxed),
+                                 std::memory_order_seq_cst);
+  }
+
+  /// get_protected() — Fig. 4 lines 12-54.  `parent` is the block that
+  /// physically contains `src` (nullptr when `src` is a data-structure
+  /// root), needed so a helper can pin it via its alloc_era.
+  std::uintptr_t protect_word(const std::atomic<std::uintptr_t>& src, unsigned idx,
+                              unsigned tid, const Block* parent = nullptr) noexcept {
+    util::AtomicPair& rsv = slots_[tid].resv[idx];
+    std::uint64_t prev_era = rsv.load_a(std::memory_order_acquire);
+
+    // ---- fast path: identical to Hazard Eras (lines 16-24) ----
+    unsigned attempts = cfg_.force_slow_path ? 0 : cfg_.fast_path_attempts;
+    while (attempts-- != 0) {
+      const std::uintptr_t ret = src.load(std::memory_order_acquire);
+      const std::uint64_t new_era = global_era_.value.load(std::memory_order_seq_cst);
+      if (prev_era == new_era) return ret;
+      rsv.store_a(new_era, std::memory_order_seq_cst);
+      prev_era = new_era;
+    }
+
+    // ---- slow path: request helping (lines 26-54) ----
+    const std::uint64_t parent_era = parent ? parent->alloc_era : kInfEra;
+    counter_start_.value.fetch_add(1, std::memory_order_seq_cst);
+
+    SlowState& st = slots_[tid].state[idx];
+    st.pointer.store(&src, std::memory_order_relaxed);
+    st.era.store(parent_era, std::memory_order_relaxed);
+    const std::uint64_t tag = rsv.load_b(std::memory_order_relaxed);
+    // Publishing {invptr, tag} opens the request; the seq_cst store
+    // releases pointer/era above to helpers.
+    st.result.store_pair({kInvPtr, tag}, std::memory_order_seq_cst);
+
+    util::Pair res;  // result observed once produced
+    for (;;) {       // bounded by the number of in-flight threads (Lemma 1)
+      const std::uintptr_t ret = src.load(std::memory_order_acquire);
+      const std::uint64_t new_era = global_era_.value.load(std::memory_order_seq_cst);
+      if (prev_era == new_era) {
+        // Cancel the request: flip result back to a benign value.
+        util::Pair expect{kInvPtr, tag};
+        if (st.result.wcas(expect, {0, kInfEra})) {
+          rsv.store_b(tag + 1, std::memory_order_seq_cst);  // next cycle
+          counter_end_.value.fetch_add(1, std::memory_order_seq_cst);
+          return ret;
+        }
+        // WCAS failed: a helper produced the output first — consume it.
+      }
+      // Keep our era reservation current; failure means a helper already
+      // wrote the final {era, tag+1}, which the exit path will honour.
+      rsv.wcas_discard({prev_era, tag}, {new_era, tag});
+      prev_era = new_era;
+      res = st.result.load_pair(std::memory_order_seq_cst);
+      if (res.a != kInvPtr) break;
+    }
+
+    // A helper served us: adopt its {pointer, era} output (lines 50-54).
+    // The helper may have installed the reservation already; writing the
+    // same era again is harmless.
+    rsv.store_a(res.b, std::memory_order_seq_cst);
+    rsv.store_b(tag + 1, std::memory_order_seq_cst);
+    counter_end_.value.fetch_add(1, std::memory_order_seq_cst);
+    return static_cast<std::uintptr_t>(res.a);
+  }
+
+  template <class T>
+  T* protect(const std::atomic<T*>& src, unsigned idx, unsigned tid,
+             const Block* parent = nullptr) noexcept {
+    return reinterpret_cast<T*>(protect_word(
+        reinterpret_cast<const std::atomic<std::uintptr_t>&>(src), idx, tid, parent));
+  }
+
+  /// alloc_block() — Fig. 4 lines 69-75.
+  template <class T, class... Args>
+  T* alloc(unsigned tid, Args&&... args) {
+    auto& td = threads_[tid];
+    if (td.alloc_since_bump++ % cfg_.era_freq == 0) increment_era(tid);
+    T* node = reclaim::construct_block<T>(std::forward<Args>(args)...);
+    node->alloc_era = global_era_.value.load(std::memory_order_seq_cst);
+    count_alloc(tid);
+    return node;
+  }
+
+  /// retire() — Fig. 4 lines 77-85.
+  void retire(Block* b, unsigned tid) noexcept {
+    b->retire_era = global_era_.value.load(std::memory_order_seq_cst);
+    push_retired(b, tid);
+    auto& td = threads_[tid];
+    if (++td.retire_since_scan % cfg_.cleanup_freq == 0) {
+      if (b->retire_era == global_era_.value.load(std::memory_order_seq_cst))
+        increment_era(tid);
+      cleanup(tid);
+    }
+  }
+
+  void flush(unsigned tid) noexcept { cleanup(tid); }
+
+  std::uint64_t era() const noexcept {
+    return global_era_.value.load(std::memory_order_acquire);
+  }
+
+  // Observability for tests/benches: how many slow-path entries/exits.
+  std::uint64_t slow_path_entries() const noexcept {
+    return counter_start_.value.load(std::memory_order_relaxed);
+  }
+  std::uint64_t slow_path_exits() const noexcept {
+    return counter_end_.value.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct SlowState {
+    util::AtomicPair result{util::Pair{0, kInfEra}};  // {nullptr, ∞}
+    std::atomic<std::uint64_t> era{kInfEra};
+    std::atomic<const std::atomic<std::uintptr_t>*> pointer{nullptr};
+  };
+
+  struct Slots {
+    std::unique_ptr<util::AtomicPair[]> resv;  // max_hes + 2 entries
+    std::unique_ptr<SlowState[]> state;        // max_hes entries
+  };
+
+  /// increment_era() — Fig. 4 lines 87-98: help every open request, then
+  /// (and only then) advance the clock.
+  void increment_era(unsigned tid) noexcept {
+    const std::uint64_t ce = counter_end_.value.load(std::memory_order_seq_cst);
+    const std::uint64_t cs = counter_start_.value.load(std::memory_order_seq_cst);
+    if (cs != ce) {
+      for (unsigned i = 0; i < cfg_.max_threads; ++i) {
+        for (unsigned j = 0; j < cfg_.max_hes; ++j) {
+          if (slots_[i].state[j].result.load_a(std::memory_order_seq_cst) == kInvPtr)
+            help_thread(i, j, tid);
+        }
+      }
+    }
+    global_era_.value.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// help_thread() — Fig. 4 lines 100-134: dereference the requester's
+  /// hazardous pointer on its behalf and hand over a reservation.
+  void help_thread(unsigned i, unsigned j, unsigned tid) noexcept {
+    SlowState& st = slots_[i].state[j];
+    util::Pair res = st.result.load_pair(std::memory_order_seq_cst);
+    if (res.a != kInvPtr) return;
+
+    // Pin the requester's parent block before touching its interior
+    // pointer (Lemma 4; first internal reservation).
+    const std::uint64_t parent_era = st.era.load(std::memory_order_acquire);
+    util::AtomicPair& parent_rsv = slots_[tid].resv[cfg_.max_hes];
+    parent_rsv.store_a(parent_era, std::memory_order_seq_cst);
+
+    const std::atomic<std::uintptr_t>* ptr = st.pointer.load(std::memory_order_acquire);
+    const std::uint64_t tag = slots_[i].resv[j].load_b(std::memory_order_seq_cst);
+    if (tag == res.b) {
+      // All state fields were read consistently; serve the request.
+      util::AtomicPair& handover_rsv = slots_[tid].resv[cfg_.max_hes + 1];
+      std::uint64_t prev_era = global_era_.value.load(std::memory_order_seq_cst);
+      do {  // bounded by the number of in-flight threads (Lemma 2)
+        // Second internal reservation: keeps the dereferenced block alive
+        // through the handover to the requester (Lemma 5).
+        handover_rsv.store_a(prev_era, std::memory_order_seq_cst);
+        const std::uintptr_t ret = ptr->load(std::memory_order_acquire);
+        const std::uint64_t new_era = global_era_.value.load(std::memory_order_seq_cst);
+        if (prev_era == new_era) {
+          util::Pair expect = res;
+          if (st.result.wcas(expect, {ret, new_era})) {
+            // Install the reservation on the requester's behalf; at most
+            // two iterations (Lemma 3).  A tag change means the requester
+            // already moved on — leave its reservation alone.
+            for (;;) {
+              util::Pair old = slots_[i].resv[j].load_pair(std::memory_order_seq_cst);
+              if (old.b != tag) break;
+              if (slots_[i].resv[j].wcas(old, {new_era, tag + 1})) break;
+            }
+          }
+          break;
+        }
+        prev_era = new_era;
+      } while (st.result.load_pair(std::memory_order_seq_cst) == res);
+      handover_rsv.store_a(kInfEra, std::memory_order_seq_cst);
+    }
+    parent_rsv.store_a(kInfEra, std::memory_order_seq_cst);
+  }
+
+  /// cleanup() — Fig. 4 lines 56-67, implementing the scanning discipline
+  /// of Lemmas 4/5: application slots, then the parent slot; and — unless
+  /// no helper can be active (ce == counter_start) — the handover slot
+  /// followed by the application slots *again* (opposite order).
+  void cleanup(unsigned tid) noexcept {
+    sweep_retired(tid, [this](const Block* b) {
+      const std::uint64_t ce = counter_end_.value.load(std::memory_order_seq_cst);
+      if (!can_delete(b, 0, cfg_.max_hes) ||
+          !can_delete(b, cfg_.max_hes, cfg_.max_hes + 1)) {
+        return false;
+      }
+      if (ce == counter_start_.value.load(std::memory_order_seq_cst)) return true;
+      return can_delete(b, cfg_.max_hes + 1, cfg_.max_hes + 2) &&
+             can_delete(b, 0, cfg_.max_hes);
+    });
+  }
+
+  bool can_delete(const Block* b, unsigned js, unsigned je) const noexcept {
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      for (unsigned j = js; j < je; ++j) {
+        const std::uint64_t e = slots_[t].resv[j].load_a(std::memory_order_seq_cst);
+        if (reclaim::era_overlaps(b, e)) return false;
+      }
+    }
+    return true;
+  }
+
+  reclaim::detail::PerThread<Slots> slots_;
+  util::Padded<std::atomic<std::uint64_t>> global_era_{1};
+  util::Padded<std::atomic<std::uint64_t>> counter_start_{0};
+  util::Padded<std::atomic<std::uint64_t>> counter_end_{0};
+};
+
+static_assert(reclaim::tracker_for<WfeTracker>);
+
+}  // namespace wfe::core

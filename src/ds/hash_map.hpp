@@ -1,0 +1,78 @@
+#pragma once
+// Michael's lock-free hash map [27] — the paper's hash-map workload
+// (Figs. 7 and 10): a fixed array of Harris-Michael list buckets.
+//
+// Keys are spread over buckets with a splitmix64 finalizer so adjacent
+// integer keys (the benchmark's uniform key range) do not share buckets.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "ds/hm_list.hpp"
+#include "reclaim/tracker.hpp"
+#include "util/random.hpp"
+
+namespace wfe::ds {
+
+template <class K, class V, reclaim::tracker_for Tracker>
+class HashMap {
+ public:
+  using Bucket = HmList<K, V, Tracker>;
+  static constexpr unsigned kSlotsNeeded = Bucket::kSlotsNeeded;
+
+  /// `bucket_count` is rounded up to a power of two.
+  explicit HashMap(Tracker& tracker, std::size_t bucket_count = 16384)
+      : mask_(round_up_pow2(bucket_count) - 1),
+        buckets_(std::make_unique<BucketSlot[]>(mask_ + 1)) {
+    for (std::size_t i = 0; i <= mask_; ++i)
+      buckets_[i].list = std::make_unique<Bucket>(tracker);
+  }
+
+  bool insert(const K& key, const V& value, unsigned tid) {
+    return bucket(key).insert(key, value, tid);
+  }
+  bool put(const K& key, const V& value, unsigned tid) {
+    return bucket(key).put(key, value, tid);
+  }
+  std::optional<V> remove(const K& key, unsigned tid) {
+    return bucket(key).remove(key, tid);
+  }
+  std::optional<V> get(const K& key, unsigned tid) {
+    return bucket(key).get(key, tid);
+  }
+  bool contains(const K& key, unsigned tid) {
+    return bucket(key).contains(key, tid);
+  }
+
+  std::size_t bucket_count() const noexcept { return mask_ + 1; }
+
+  std::size_t size_unsafe() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i <= mask_; ++i) n += buckets_[i].list->size_unsafe();
+    return n;
+  }
+
+ private:
+  struct BucketSlot {
+    std::unique_ptr<Bucket> list;
+  };
+
+  static std::size_t round_up_pow2(std::size_t v) noexcept {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  Bucket& bucket(const K& key) noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(key);
+    h = util::splitmix64_next(h);  // finalizer: h is the evolved state's hash
+    return *buckets_[h & mask_].list;
+  }
+
+  std::size_t mask_;
+  std::unique_ptr<BucketSlot[]> buckets_;
+};
+
+}  // namespace wfe::ds

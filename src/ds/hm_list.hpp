@@ -1,0 +1,216 @@
+#pragma once
+// Harris-Michael sorted linked list [18, 27] — the paper's list workload
+// (Figs. 6 and 9).
+//
+// Harris's logical-deletion mark lives in the low bit of each node's
+// `next` word; Michael's modification (required for HP-compatible
+// reclamation, and therefore for HE/WFE which share HP's API) restarts
+// the traversal instead of walking marked chains, so every dereferenced
+// node is protected while provably in-list.
+//
+// Protection discipline (2 rotating slots, Michael 2004 Fig. 9):
+//   * the current node is protected by protect_word() on the *in-list*
+//     link that names it — for HP this is publish+validate, for era
+//     schemes an era reservation, for WFE the wait-free fast/slow path;
+//   * when the traversal advances, the slot roles swap so the previous
+//     node stays continuously protected;
+//   * a marked link under the previous node, or a failed unlink CAS,
+//     restarts from the head.
+//
+// WFE's extra `parent` argument (paper §3.4) is the node containing the
+// link being read — nullptr at the head root.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "reclaim/tracker.hpp"
+#include "util/cacheline.hpp"
+#include "util/marked_ptr.hpp"
+
+namespace wfe::ds {
+
+template <class K, class V, reclaim::tracker_for Tracker>
+class HmList {
+ public:
+  /// Reservation slots used per thread (prev + cur).
+  static constexpr unsigned kSlotsNeeded = 2;
+
+  explicit HmList(Tracker& tracker) : tracker_(tracker) {}
+
+  HmList(const HmList&) = delete;
+  HmList& operator=(const HmList&) = delete;
+
+  /// Quiescent teardown.
+  ~HmList() {
+    auto w = head_.load(std::memory_order_relaxed);
+    while (util::strip(w) != 0) {
+      Node* n = util::unpack_ptr<Node>(w);
+      w = n->next.load(std::memory_order_relaxed);
+      tracker_.dealloc(n, 0);
+    }
+  }
+
+  /// Inserts (key, value); fails if the key is present.
+  bool insert(const K& key, const V& value, unsigned tid) {
+    tracker_.begin_op(tid);
+    const bool ok = insert_impl(key, value, tid);
+    tracker_.end_op(tid);
+    return ok;
+  }
+
+  /// Insert-or-replace ("put" in the paper's key-value interface):
+  /// node values are immutable, so replacing a key allocates a fresh
+  /// node and retires the old one — the reclamation traffic the paper's
+  /// read-mostly experiments (Figs. 9-11) measure.  Returns true when
+  /// the key was absent.  Not an atomic replace: a concurrent reader can
+  /// observe the key momentarily absent between unlink and re-insert
+  /// (benchmark-standard upsert semantics).
+  bool put(const K& key, const V& value, unsigned tid) {
+    tracker_.begin_op(tid);
+    bool was_absent = true;
+    while (!insert_impl(key, value, tid)) {
+      was_absent = false;
+      remove_impl(key, tid);
+    }
+    tracker_.end_op(tid);
+    return was_absent;
+  }
+
+  /// Removes key; returns its value if present.
+  std::optional<V> remove(const K& key, unsigned tid) {
+    tracker_.begin_op(tid);
+    std::optional<V> out = remove_impl(key, tid);
+    tracker_.end_op(tid);
+    return out;
+  }
+
+  /// Point lookup.
+  std::optional<V> get(const K& key, unsigned tid) {
+    tracker_.begin_op(tid);
+    std::optional<V> out;
+    Position pos = find(key, tid);
+    if (pos.found) out = pos.cur->value;
+    tracker_.end_op(tid);
+    return out;
+  }
+
+  bool contains(const K& key, unsigned tid) { return get(key, tid).has_value(); }
+
+  /// Quiescent size (test helper; not linearizable under concurrency).
+  std::size_t size_unsafe() const noexcept {
+    std::size_t n = 0;
+    for (auto w = head_.load(std::memory_order_acquire); util::strip(w) != 0;) {
+      const Node* node = util::unpack_ptr<Node>(w);
+      const auto next = node->next.load(std::memory_order_acquire);
+      if (!util::is_marked(next)) ++n;
+      w = next;
+    }
+    return n;
+  }
+
+ private:
+  struct Node : reclaim::Block {
+    Node(const K& k, const V& v) : key(k), value(v) {}
+    const K key;
+    const V value;  // immutable: updates replace the node (see put())
+    std::atomic<std::uintptr_t> next{0};
+  };
+
+  struct Position {
+    std::atomic<std::uintptr_t>* prev_link;
+    Node* prev_node;  // block containing prev_link; nullptr at head
+    Node* cur;        // first node with key >= target (protected), or null
+    Node* next;       // cur's successor snapshot (unprotected)
+    bool found;
+    unsigned cur_slot;  // slot currently protecting cur
+  };
+
+  /// Michael's find(): on return, cur (if non-null) is protected and was
+  /// observed unmarked and in-list; prev_link is the link that named it.
+  Position find(const K& key, unsigned tid) {
+  retry:
+    std::atomic<std::uintptr_t>* prev_link = &head_;
+    Node* prev_node = nullptr;
+    unsigned cur_slot = 0;  // alternates with prev's slot on advance
+    for (;;) {
+      const std::uintptr_t cur_w =
+          tracker_.protect_word(*prev_link, cur_slot, tid, prev_node);
+      if (util::is_marked(cur_w)) goto retry;  // prev got deleted
+      Node* cur = util::unpack_ptr<Node>(cur_w);
+      if (cur == nullptr)
+        return {prev_link, prev_node, nullptr, nullptr, false, cur_slot};
+      const std::uintptr_t next_w = cur->next.load(std::memory_order_acquire);
+      if (util::is_marked(next_w)) {
+        // cur is logically deleted: unlink it before proceeding.
+        std::uintptr_t expected = util::pack_ptr(cur);
+        if (!prev_link->compare_exchange_strong(expected, util::strip(next_w),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+          goto retry;
+        }
+        tracker_.retire(cur, tid);
+        continue;  // re-read the same link
+      }
+      if (!(cur->key < key)) {
+        return {prev_link,         prev_node, cur, util::unpack_ptr<Node>(next_w),
+                !(key < cur->key), cur_slot};
+      }
+      prev_link = &cur->next;
+      prev_node = cur;
+      cur_slot ^= 1u;  // keep (new) prev protected; reuse the other slot
+    }
+  }
+
+  bool insert_impl(const K& key, const V& value, unsigned tid) {
+    Node* node = nullptr;
+    for (;;) {
+      Position pos = find(key, tid);
+      if (pos.found) {
+        if (node != nullptr) tracker_.dealloc(node, tid);  // never published
+        return false;
+      }
+      if (node == nullptr) node = tracker_.template alloc<Node>(tid, key, value);
+      node->next.store(util::pack_ptr(pos.cur), std::memory_order_relaxed);
+      std::uintptr_t expected = util::pack_ptr(pos.cur);
+      if (pos.prev_link->compare_exchange_strong(expected, util::pack_ptr(node),
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  std::optional<V> remove_impl(const K& key, unsigned tid) {
+    for (;;) {
+      Position pos = find(key, tid);
+      if (!pos.found) return std::nullopt;
+      const std::uintptr_t next_w = pos.cur->next.load(std::memory_order_acquire);
+      if (util::is_marked(next_w)) continue;  // someone else is deleting it
+      // Logical deletion: mark cur's next link.
+      std::uintptr_t expected = next_w;
+      if (!pos.cur->next.compare_exchange_strong(
+              expected, next_w | util::kMarkBit, std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        continue;
+      }
+      const V out = pos.cur->value;
+      // Physical unlink; on failure a later traversal cleans up (and
+      // retires the node — exactly one thread wins that CAS).
+      expected = util::pack_ptr(pos.cur);
+      if (pos.prev_link->compare_exchange_strong(
+              expected, util::strip(next_w), std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        tracker_.retire(pos.cur, tid);
+      } else {
+        find(key, tid);  // help unlink, then we're done
+      }
+      return out;
+    }
+  }
+
+  Tracker& tracker_;
+  alignas(util::kFalseSharingRange) std::atomic<std::uintptr_t> head_{0};
+};
+
+}  // namespace wfe::ds

@@ -1,0 +1,371 @@
+#pragma once
+// Natarajan-Mittal lock-free external BST [29] — the paper's tree
+// workload (Figs. 8 and 11).
+//
+// External (leaf-oriented) tree: internal nodes route, leaves store keys.
+// Child edges carry two stolen bits:
+//   FLAG — the edge's target (always a leaf) is being deleted;
+//   TAG  — the edge must not grow (its parent node is being spliced out).
+// Deletion is two-phase: *injection* flags the parent→leaf edge, then
+// *cleanup* tags the sibling edge and splices the ancestor→successor edge
+// to the sibling, unlinking the parent (and any chain of tagged internals
+// between successor and parent that earlier stalled deletions left
+// behind).
+//
+// Reclamation: the thread whose splice CAS succeeds owns the entire
+// removed chain (it is unreachable and nobody else's CAS can touch it),
+// and retires every internal node on the successor→parent path plus each
+// one's flagged leaf.  Competing deleters observe their leaf gone on
+// re-seek and return without retiring, so each node is retired exactly
+// once and nothing leaks.
+//
+// Protection: five reservation slots hold the seek record (ancestor,
+// successor, parent, leaf) plus the node being read; advancing the record
+// moves coverage with copy_slot().  For era-family trackers (HE, WFE,
+// 2GEIBR, EBR) this is the discipline the reference IBR benchmark uses;
+// HP inherits the same link-stability validation as that benchmark.
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "reclaim/tracker.hpp"
+#include "util/cacheline.hpp"
+#include "util/marked_ptr.hpp"
+
+namespace wfe::ds {
+
+template <class V, reclaim::tracker_for Tracker>
+class NatarajanBst {
+ public:
+  using K = std::uint64_t;
+
+  /// Largest usable key: the top three values are the ∞₀ < ∞₁ < ∞₂
+  /// sentinels.
+  static constexpr K kMaxKey = std::numeric_limits<K>::max() - 3;
+  static constexpr unsigned kSlotsNeeded = 5;
+
+  explicit NatarajanBst(Tracker& tracker) : tracker_(tracker) {
+    // Sentinel skeleton (Natarajan-Mittal Fig. 1): every real key is
+    // smaller than ∞₀ and therefore lives in S's left subtree.
+    Node* leaf_inf0 = tracker_.template alloc<Node>(0, kInf0, V{});
+    Node* leaf_inf1 = tracker_.template alloc<Node>(0, kInf1, V{});
+    Node* leaf_inf2 = tracker_.template alloc<Node>(0, kInf2, V{});
+    s_ = tracker_.template alloc<Node>(0, kInf1, V{});
+    s_->left.store(util::pack_ptr(leaf_inf0), std::memory_order_relaxed);
+    s_->right.store(util::pack_ptr(leaf_inf1), std::memory_order_relaxed);
+    r_ = tracker_.template alloc<Node>(0, kInf2, V{});
+    r_->left.store(util::pack_ptr(s_), std::memory_order_relaxed);
+    r_->right.store(util::pack_ptr(leaf_inf2), std::memory_order_relaxed);
+  }
+
+  NatarajanBst(const NatarajanBst&) = delete;
+  NatarajanBst& operator=(const NatarajanBst&) = delete;
+
+  /// Quiescent teardown.
+  ~NatarajanBst() { dealloc_subtree(r_); }
+
+  bool insert(const K& key, const V& value, unsigned tid) {
+    tracker_.begin_op(tid);
+    const bool ok = insert_impl(key, value, tid);
+    tracker_.end_op(tid);
+    return ok;
+  }
+
+  /// Insert-or-replace: leaf values are immutable, so replacing a key
+  /// removes the old leaf and inserts a fresh one (the reclamation
+  /// traffic of the paper's Figs. 9-11).  Returns true when the key was
+  /// absent; momentary absence is visible to concurrent readers
+  /// (benchmark-standard upsert semantics).
+  bool put(const K& key, const V& value, unsigned tid) {
+    tracker_.begin_op(tid);
+    bool was_absent = true;
+    while (!insert_impl(key, value, tid)) {
+      was_absent = false;
+      remove_impl(key, tid);
+    }
+    tracker_.end_op(tid);
+    return was_absent;
+  }
+
+  std::optional<V> get(const K& key, unsigned tid) {
+    assert(key <= kMaxKey);
+    tracker_.begin_op(tid);
+    SeekRecord sr;
+    seek(key, sr, tid);
+    std::optional<V> out;
+    if (sr.leaf->key == key) out = sr.leaf->value;
+    tracker_.end_op(tid);
+    return out;
+  }
+
+  bool contains(const K& key, unsigned tid) { return get(key, tid).has_value(); }
+
+  std::optional<V> remove(const K& key, unsigned tid) {
+    assert(key <= kMaxKey);
+    tracker_.begin_op(tid);
+    std::optional<V> out = remove_impl(key, tid);
+    tracker_.end_op(tid);
+    return out;
+  }
+
+  /// Quiescent count of real (non-sentinel) leaves.
+  std::size_t size_unsafe() const noexcept { return count_leaves(r_); }
+
+ private:
+  static constexpr K kInf0 = std::numeric_limits<K>::max() - 2;
+  static constexpr K kInf1 = std::numeric_limits<K>::max() - 1;
+  static constexpr K kInf2 = std::numeric_limits<K>::max();
+
+  // Seek-record slot assignment.
+  static constexpr unsigned kSlotAncestor = 0;
+  static constexpr unsigned kSlotSuccessor = 1;
+  static constexpr unsigned kSlotParent = 2;
+  static constexpr unsigned kSlotLeaf = 3;
+  static constexpr unsigned kSlotCurrent = 4;
+
+  struct Node : reclaim::Block {
+    Node(K k, const V& v) : key(k), value(v) {}
+    const K key;
+    const V value;  // immutable: updates replace the leaf (see put())
+    std::atomic<std::uintptr_t> left{0};
+    std::atomic<std::uintptr_t> right{0};
+
+    bool is_leaf() const noexcept {
+      return util::strip(left.load(std::memory_order_acquire)) == 0;
+    }
+  };
+
+  struct SeekRecord {
+    Node* ancestor;
+    Node* successor;
+    Node* parent;
+    Node* leaf;
+  };
+
+  /// Child link of `node` on the search path of `key`.
+  static std::atomic<std::uintptr_t>* child_link(Node* node, K key) noexcept {
+    return key < node->key ? &node->left : &node->right;
+  }
+
+  /// Natarajan-Mittal seek (Algorithm 2): walk to the terminal leaf,
+  /// remembering the deepest node whose path edge was untagged
+  /// (ancestor) and its path child (successor).
+  void seek(K key, SeekRecord& sr, unsigned tid) {
+    sr.ancestor = r_;
+    sr.successor = s_;
+    sr.parent = s_;
+    // Sentinels r_/s_ are never retired; no reservation needed for them,
+    // but the slots must be seeded for the copy chain below.
+    tracker_.clear_slot(kSlotAncestor, tid);
+    tracker_.clear_slot(kSlotSuccessor, tid);
+    tracker_.clear_slot(kSlotParent, tid);
+    std::uintptr_t parent_field =
+        tracker_.protect_word(s_->left, kSlotLeaf, tid, s_);
+    sr.leaf = util::unpack_ptr<Node>(parent_field);
+    std::uintptr_t current_field =
+        tracker_.protect_word(*child_link(sr.leaf, key), kSlotCurrent, tid, sr.leaf);
+    Node* current = util::unpack_ptr<Node>(current_field);
+    while (current != nullptr) {
+      if (!util::is_tagged(parent_field)) {
+        sr.ancestor = sr.parent;
+        tracker_.copy_slot(kSlotParent, kSlotAncestor, tid);
+        sr.successor = sr.leaf;
+        tracker_.copy_slot(kSlotLeaf, kSlotSuccessor, tid);
+      }
+      sr.parent = sr.leaf;
+      tracker_.copy_slot(kSlotLeaf, kSlotParent, tid);
+      sr.leaf = current;
+      tracker_.copy_slot(kSlotCurrent, kSlotLeaf, tid);
+      parent_field = current_field;
+      current_field =
+          tracker_.protect_word(*child_link(current, key), kSlotCurrent, tid, current);
+      current = util::unpack_ptr<Node>(current_field);
+    }
+  }
+
+  bool insert_impl(K key, const V& value, unsigned tid) {
+    assert(key <= kMaxKey);
+    Node* new_leaf = nullptr;
+    Node* new_internal = nullptr;
+    SeekRecord sr;
+    for (;;) {
+      seek(key, sr, tid);
+      if (sr.leaf->key == key) {
+        if (new_leaf != nullptr) tracker_.dealloc(new_leaf, tid);  // never published
+        if (new_internal != nullptr) tracker_.dealloc(new_internal, tid);
+        return false;
+      }
+      std::atomic<std::uintptr_t>* child_addr = child_link(sr.parent, key);
+      if (new_leaf == nullptr) new_leaf = tracker_.template alloc<Node>(tid, key, value);
+      // The new internal routes between the existing leaf and ours; its
+      // key is the larger of the two (external-BST invariant: left < key,
+      // right >= key).  Node keys are immutable, so if the colliding leaf
+      // changed across retries the cached internal must be rebuilt.
+      const K route = key > sr.leaf->key ? key : sr.leaf->key;
+      if (new_internal != nullptr && new_internal->key != route) {
+        tracker_.dealloc(new_internal, tid);
+        new_internal = nullptr;
+      }
+      if (new_internal == nullptr)
+        new_internal = tracker_.template alloc<Node>(tid, route, V{});
+      Node* internal = new_internal;
+      if (key < sr.leaf->key) {
+        internal->left.store(util::pack_ptr(new_leaf), std::memory_order_relaxed);
+        internal->right.store(util::pack_ptr(sr.leaf), std::memory_order_relaxed);
+      } else {
+        internal->left.store(util::pack_ptr(sr.leaf), std::memory_order_relaxed);
+        internal->right.store(util::pack_ptr(new_leaf), std::memory_order_relaxed);
+      }
+      std::uintptr_t expected = util::pack_ptr(sr.leaf);
+      if (child_addr->compare_exchange_strong(expected, util::pack_ptr(internal),
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+        return true;
+      }
+      // CAS failed: if the edge still targets our leaf but is flagged or
+      // tagged, a deletion is pending at this node — help it finish.
+      if (util::unpack_ptr<Node>(expected) == sr.leaf &&
+          util::bits_of(expected) != 0) {
+        cleanup(key, sr, tid);
+      }
+    }
+  }
+
+  std::optional<V> remove_impl(K key, unsigned tid) {
+    bool injected = false;
+    Node* leaf = nullptr;
+    std::optional<V> out;
+    SeekRecord sr;
+    for (;;) {
+      seek(key, sr, tid);
+      if (!injected) {
+        // Injection phase: flag the parent→leaf edge.
+        leaf = sr.leaf;
+        if (leaf->key != key) return std::nullopt;
+        std::atomic<std::uintptr_t>* child_addr = child_link(sr.parent, key);
+        std::uintptr_t expected = util::pack_ptr(leaf);
+        if (child_addr->compare_exchange_strong(
+                expected, util::pack_ptr(leaf, util::kMarkBit),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          out = leaf->value;
+          injected = true;
+          if (cleanup(key, sr, tid)) return out;
+        } else if (util::unpack_ptr<Node>(expected) == leaf &&
+                   util::bits_of(expected) != 0) {
+          cleanup(key, sr, tid);  // help the competing deletion
+        }
+      } else {
+        // Cleanup phase: our flag is planted; splice until the leaf is
+        // gone.  A different leaf at the terminal position means another
+        // thread completed the splice for us.
+        if (sr.leaf != leaf) return out;
+        if (cleanup(key, sr, tid)) return out;
+      }
+    }
+  }
+
+  /// Natarajan-Mittal cleanup (Algorithm 5): tag the sibling edge, splice
+  /// ancestor→sibling, and retire the removed chain on success.
+  bool cleanup(K key, const SeekRecord& sr, unsigned tid) {
+    Node* ancestor = sr.ancestor;
+    Node* successor = sr.successor;
+    Node* parent = sr.parent;
+    std::atomic<std::uintptr_t>* successor_addr = child_link(ancestor, key);
+    std::atomic<std::uintptr_t>* child_addr;
+    std::atomic<std::uintptr_t>* sibling_addr;
+    if (key < parent->key) {
+      child_addr = &parent->left;
+      sibling_addr = &parent->right;
+    } else {
+      child_addr = &parent->right;
+      sibling_addr = &parent->left;
+    }
+    if (!util::is_marked(child_addr->load(std::memory_order_acquire))) {
+      // The flag is on the other edge (we are helping a deletion of the
+      // sibling key); keep the subtree on our key's side instead.
+      sibling_addr = child_addr;
+      // Guard against helping a phantom deletion: if neither edge is
+      // flagged there is nothing to clean up (possible only after the
+      // original deletion fully completed under us).
+      if (!util::is_marked(sibling_addr == &parent->left
+                               ? parent->right.load(std::memory_order_acquire)
+                               : parent->left.load(std::memory_order_acquire))) {
+        return true;
+      }
+    }
+    // The edge NOT kept names the leaf removed at `parent`.  Recorded
+    // here because flag bits alone cannot identify it after the splice:
+    // the kept edge may itself be flagged (its leaf under concurrent
+    // deletion) in addition to the tag below.
+    std::atomic<std::uintptr_t>* removed_addr =
+        sibling_addr == &parent->left ? &parent->right : &parent->left;
+    // Tag the kept edge so no insertion can grow it mid-splice.
+    const std::uintptr_t sibling_word =
+        sibling_addr->fetch_or(util::kTagBit, std::memory_order_acq_rel) |
+        util::kTagBit;
+    // Splice: ancestor adopts the kept subtree.  The kept edge's FLAG (a
+    // concurrent deletion of the sibling leaf) must survive the move; the
+    // TAG must not.
+    std::uintptr_t expected = util::pack_ptr(successor);
+    const std::uintptr_t desired = sibling_word & ~util::kTagBit;
+    if (!successor_addr->compare_exchange_strong(expected, desired,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed)) {
+      return false;
+    }
+    Node* removed_leaf = util::unpack_ptr<Node>(
+        removed_addr->load(std::memory_order_acquire));
+    retire_chain(successor, parent, removed_leaf, tid);
+    return true;
+  }
+
+  /// Retires the spliced-out chain: internals successor..parent and each
+  /// one's flagged leaf.  Only the winning splicer calls this, the chain
+  /// is unreachable, and nobody else retires these nodes (stalled
+  /// deleters see their leaf vanish on re-seek and give up).
+  void retire_chain(Node* successor, Node* parent, Node* removed_leaf,
+                    unsigned tid) {
+    Node* node = successor;
+    while (node != parent) {
+      // Intermediate chain node: its flagged edge names a removed leaf
+      // (flags only ever target leaves); the other edge — necessarily to
+      // an internal node, hence unflaggable — continues the chain.
+      const std::uintptr_t lw = node->left.load(std::memory_order_acquire);
+      const std::uintptr_t rw = node->right.load(std::memory_order_acquire);
+      const std::uintptr_t leaf_w = util::is_marked(lw) ? lw : rw;
+      const std::uintptr_t chain_w = util::is_marked(lw) ? rw : lw;
+      assert(util::is_marked(leaf_w) && !util::is_marked(chain_w));
+      tracker_.retire(util::unpack_ptr<Node>(leaf_w), tid);
+      tracker_.retire(node, tid);
+      node = util::unpack_ptr<Node>(chain_w);
+    }
+    tracker_.retire(removed_leaf, tid);
+    tracker_.retire(parent, tid);
+  }
+
+  void dealloc_subtree(Node* node) {
+    if (node == nullptr) return;
+    dealloc_subtree(util::unpack_ptr<Node>(node->left.load(std::memory_order_relaxed)));
+    dealloc_subtree(util::unpack_ptr<Node>(node->right.load(std::memory_order_relaxed)));
+    tracker_.dealloc(node, 0);
+  }
+
+  std::size_t count_leaves(const Node* node) const noexcept {
+    if (node == nullptr) return 0;
+    const Node* l =
+        util::unpack_ptr<Node>(node->left.load(std::memory_order_relaxed));
+    if (l == nullptr) return node->key <= kMaxKey ? 1 : 0;
+    const Node* r =
+        util::unpack_ptr<Node>(node->right.load(std::memory_order_relaxed));
+    return count_leaves(l) + count_leaves(r);
+  }
+
+  Tracker& tracker_;
+  Node* r_;  // root sentinel (key ∞₂)
+  Node* s_;  // second sentinel (key ∞₁)
+};
+
+}  // namespace wfe::ds

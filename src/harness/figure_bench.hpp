@@ -1,0 +1,150 @@
+#pragma once
+// Shared driver for the per-figure benchmark binaries (bench/bench_fig*).
+//
+// Each binary names a figure from the paper, a data-structure factory and
+// an operation mix; this header sweeps thread counts x reclamation
+// schemes and prints the two series every figure in §5 reports:
+// throughput (Mops/s) and average unreclaimed objects.
+//
+// Environment knobs:
+//   WFE_BENCH_SECONDS      run duration per data point (default 0.5; paper: 10)
+//   WFE_BENCH_REPEATS      repeats per data point       (default 1; paper: 5)
+//   WFE_BENCH_THREAD_LIST  comma list, e.g. "1,8,16,24" (default: pow2 sweep)
+//   WFE_BENCH_PREFILL      prefill elements             (default 50000, as paper)
+//   WFE_BENCH_KEY_RANGE    key range                    (default 100000, as paper)
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/wfe.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+#include "reclaim/ebr.hpp"
+#include "reclaim/he.hpp"
+#include "reclaim/hp.hpp"
+#include "reclaim/ibr.hpp"
+#include "reclaim/leak.hpp"
+
+namespace wfe::harness {
+
+/// Applies `fn.operator()<Tracker>()` to every scheme in the paper's
+/// comparison set, in the paper's legend order.
+template <class Fn>
+void for_each_tracker(Fn&& fn) {
+  fn.template operator()<core::WfeTracker>();
+  fn.template operator()<reclaim::EbrTracker>();
+  fn.template operator()<reclaim::HeTracker>();
+  fn.template operator()<reclaim::HpTracker>();
+  fn.template operator()<reclaim::IbrTracker>();
+  fn.template operator()<reclaim::LeakTracker>();
+}
+
+struct FigureSpec {
+  const char* figure;   ///< e.g. "Fig 6"
+  const char* ds_name;  ///< e.g. "Linked List"
+  Workload workload;
+  bool is_queue = false;
+  unsigned slots_needed = 5;  ///< max_hes for the trackers
+};
+
+namespace detail {
+
+struct Series {
+  std::vector<double> mops;
+  std::vector<double> unreclaimed;
+};
+
+inline void print_table(const char* title, const std::vector<unsigned>& threads,
+                        const std::vector<std::string>& schemes,
+                        const std::map<std::string, Series>& data, bool second) {
+  std::printf("%s\n", title);
+  std::printf("%8s", "threads");
+  for (const auto& s : schemes) std::printf("%12s", s.c_str());
+  std::printf("\n");
+  for (std::size_t row = 0; row < threads.size(); ++row) {
+    std::printf("%8u", threads[row]);
+    for (const auto& s : schemes) {
+      const Series& ser = data.at(s);
+      const double v = second ? ser.unreclaimed[row] : ser.mops[row];
+      std::printf(second ? "%12.1f" : "%12.3f", v);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace detail
+
+/// `Factory::operator()<TR>(TR&) -> std::unique_ptr<DS>` builds the
+/// structure under test; prefill and per-op dispatch are chosen by
+/// `spec.is_queue`.
+template <class Factory>
+int run_figure(const FigureSpec& spec, Factory&& factory) {
+  Workload w = spec.workload;
+  w.prefill = static_cast<std::uint64_t>(
+      env_long("WFE_BENCH_PREFILL", static_cast<long>(w.prefill)));
+  w.key_range = static_cast<std::uint64_t>(
+      env_long("WFE_BENCH_KEY_RANGE", static_cast<long>(w.key_range)));
+
+  RunConfig rc;
+  rc.seconds = env_double("WFE_BENCH_SECONDS", 0.5);
+  rc.repeats = static_cast<unsigned>(env_long("WFE_BENCH_REPEATS", 1));
+
+  const std::vector<unsigned> threads = thread_sweep();
+  std::vector<std::string> schemes;
+  std::map<std::string, detail::Series> data;
+
+  for_each_tracker([&]<class TR>() {
+    schemes.emplace_back(TR::name());
+    detail::Series series;
+    for (unsigned t : threads) {
+      reclaim::TrackerConfig cfg;
+      cfg.max_threads = t;
+      cfg.max_hes = spec.slots_needed;
+      TR tracker(cfg);
+      auto ds = factory.template operator()<TR>(tracker);
+      // Prefill (paper: 50K elements before each measurement).
+      util::Xoshiro256 rng(42);
+      if constexpr (Factory::kIsQueue) {
+        for (std::uint64_t i = 0; i < w.prefill; ++i)
+          ds->enqueue(rng.next_bounded(w.key_range) + 1, 0);
+      } else {
+        std::uint64_t inserted = 0;
+        while (inserted < w.prefill)
+          inserted += ds->insert(rng.next_bounded(w.key_range) + 1,
+                                 /*value=*/inserted, 0)
+                          ? 1
+                          : 0;
+      }
+      rc.threads = t;
+      RunResult r = run_timed(
+          rc,
+          [&](util::Xoshiro256& g, unsigned tid) {
+            if constexpr (Factory::kIsQueue) {
+              queue_op(*ds, w, g, tid);
+            } else {
+              kv_op(*ds, w, g, tid);
+            }
+          },
+          [&] { return tracker.unreclaimed(); });
+      series.mops.push_back(r.mops);
+      series.unreclaimed.push_back(r.avg_unreclaimed);
+    }
+    data.emplace(TR::name(), std::move(series));
+  });
+
+  std::printf("=== %s — %s (%s) ===\n", spec.figure, spec.ds_name,
+              mix_name(w.mix));
+  std::printf("prefill=%llu key_range=%llu seconds=%.2f repeats=%u\n",
+              static_cast<unsigned long long>(w.prefill),
+              static_cast<unsigned long long>(w.key_range), rc.seconds,
+              rc.repeats);
+  detail::print_table("throughput (Mops/s):", threads, schemes, data, false);
+  detail::print_table("avg unreclaimed objects:", threads, schemes, data, true);
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace wfe::harness

@@ -1,0 +1,72 @@
+#pragma once
+// Workload specification mirroring the paper's evaluation (§5):
+//  * write-dominated: 50% insert() / 50% remove(),
+//  * read-mostly:     90% get() / 10% put(),
+//  * queues:          50% enqueue() / 50% dequeue(),
+// keys drawn uniformly from (0, key_range), structures prefilled with
+// `prefill` elements before timing starts.
+
+#include <cstdint>
+#include <string>
+
+#include "util/random.hpp"
+
+namespace wfe::harness {
+
+enum class OpMix {
+  kWrite5050,  ///< 50% insert, 50% remove
+  kRead9010,   ///< 90% get, 10% put
+  kQueue5050,  ///< 50% enqueue, 50% dequeue
+};
+
+inline const char* mix_name(OpMix mix) noexcept {
+  switch (mix) {
+    case OpMix::kWrite5050: return "50% insert / 50% remove";
+    case OpMix::kRead9010: return "90% get / 10% put";
+    case OpMix::kQueue5050: return "50% enqueue / 50% dequeue";
+  }
+  return "?";
+}
+
+struct Workload {
+  OpMix mix = OpMix::kWrite5050;
+  std::uint64_t key_range = 100000;  ///< keys uniform in (0, key_range)
+  std::uint64_t prefill = 50000;     ///< elements inserted before timing
+};
+
+/// One operation against a key-value structure (list / hash map / BST).
+/// `S` needs insert/remove/get/put taking (key, value, tid) / (key, tid).
+template <class S>
+void kv_op(S& s, const Workload& w, util::Xoshiro256& rng, unsigned tid) {
+  const std::uint64_t key = rng.next_bounded(w.key_range) + 1;
+  switch (w.mix) {
+    case OpMix::kWrite5050:
+      if (rng.percent(50)) {
+        s.insert(key, key, tid);
+      } else {
+        s.remove(key, tid);
+      }
+      break;
+    case OpMix::kRead9010:
+      if (rng.percent(90)) {
+        s.get(key, tid);
+      } else {
+        s.put(key, key, tid);
+      }
+      break;
+    case OpMix::kQueue5050:
+      break;  // not a KV mix
+  }
+}
+
+/// One operation against a queue (`enqueue`/`dequeue` taking tid).
+template <class Q>
+void queue_op(Q& q, const Workload& w, util::Xoshiro256& rng, unsigned tid) {
+  if (rng.percent(50)) {
+    q.enqueue(rng.next_bounded(w.key_range) + 1, tid);
+  } else {
+    q.dequeue(tid);
+  }
+}
+
+}  // namespace wfe::harness

@@ -1,0 +1,31 @@
+#pragma once
+// Thread pinning. The paper pins threads socket-by-socket (§5); in this
+// reproduction we pin round-robin over whatever CPUs the host exposes.
+// Pinning is best-effort: failure (e.g. restricted cgroups) is non-fatal.
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace wfe::util {
+
+/// Pin the calling thread to `cpu % hardware_concurrency`. Returns whether
+/// the affinity call succeeded.
+inline bool pin_to_cpu(unsigned cpu) noexcept {
+#if defined(__linux__)
+  const unsigned ncpu = std::thread::hardware_concurrency();
+  if (ncpu == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % ncpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace wfe::util

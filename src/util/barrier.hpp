@@ -1,0 +1,45 @@
+#pragma once
+// Sense-reversing spin barrier for benchmark start/stop synchronization.
+//
+// std::barrier is avoided on purpose: its completion-step machinery adds
+// latency jitter right where benchmarks need a crisp simultaneous start,
+// and this repo targets single-digit-microsecond phase changes.
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "util/cacheline.hpp"
+
+namespace wfe::util {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept : parties_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks until `parties` threads have arrived. Safe for repeated phases.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      // Oversubscribed hosts (CI containers) need the yield: pure spinning
+      // with more threads than cores can delay the releasing thread a full
+      // scheduling quantum.
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+ private:
+  std::size_t parties_;
+  alignas(kFalseSharingRange) std::atomic<std::size_t> count_{0};
+  alignas(kFalseSharingRange) std::atomic<bool> sense_{false};
+};
+
+}  // namespace wfe::util

@@ -1,0 +1,35 @@
+#pragma once
+// Cache-line geometry and anti-false-sharing padding helpers.
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace wfe::util {
+
+// Fixed at the conventional 64 bytes rather than
+// std::hardware_destructive_interference_size: the latter varies with
+// -mtune and would silently change struct layouts across builds.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Pad to *two* cache lines: adjacent-line prefetchers on x86 pull pairs of
+/// lines, so 128-byte separation is the conventional HPC choice for heavily
+/// contended per-thread slots (reservations, counters).
+inline constexpr std::size_t kFalseSharingRange = 2 * kCacheLine;
+
+/// Value wrapper that owns one object per padded slot.
+template <class T>
+struct alignas(kFalseSharingRange) Padded {
+  T value{};
+
+  template <class... Args>
+  explicit Padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+  Padded() = default;
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+}  // namespace wfe::util

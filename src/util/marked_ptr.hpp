@@ -1,0 +1,56 @@
+#pragma once
+// Bit-stealing pointer utilities.
+//
+// The Harris-Michael list needs one "logically deleted" mark bit in the
+// low bits of node pointers; the Natarajan-Mittal BST needs two (flag +
+// tag).  Nodes are at least 8-byte aligned, so the low 3 bits are free.
+
+#include <cstdint>
+#include <type_traits>
+
+namespace wfe::util {
+
+inline constexpr std::uintptr_t kMarkBit = 0x1;  // Harris mark / BST flag
+inline constexpr std::uintptr_t kTagBit = 0x2;   // BST tag
+inline constexpr std::uintptr_t kPtrBits = ~std::uintptr_t{0x3};
+
+template <class T>
+constexpr std::uintptr_t pack_ptr(T* p, std::uintptr_t bits = 0) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) | bits;
+}
+
+template <class T>
+constexpr T* unpack_ptr(std::uintptr_t w) noexcept {
+  return reinterpret_cast<T*>(w & kPtrBits);
+}
+
+constexpr bool is_marked(std::uintptr_t w) noexcept { return (w & kMarkBit) != 0; }
+constexpr bool is_tagged(std::uintptr_t w) noexcept { return (w & kTagBit) != 0; }
+constexpr std::uintptr_t strip(std::uintptr_t w) noexcept { return w & kPtrBits; }
+constexpr std::uintptr_t bits_of(std::uintptr_t w) noexcept { return w & ~kPtrBits; }
+
+/// Typed convenience wrapper around a packed word.
+template <class T>
+class MarkedPtr {
+ public:
+  constexpr MarkedPtr() noexcept = default;
+  constexpr explicit MarkedPtr(std::uintptr_t raw) noexcept : raw_(raw) {}
+  constexpr MarkedPtr(T* p, bool mark) noexcept
+      : raw_(pack_ptr(p, mark ? kMarkBit : 0)) {}
+
+  constexpr T* ptr() const noexcept { return unpack_ptr<T>(raw_); }
+  constexpr bool marked() const noexcept { return is_marked(raw_); }
+  constexpr std::uintptr_t raw() const noexcept { return raw_; }
+
+  constexpr MarkedPtr with_mark() const noexcept { return MarkedPtr(raw_ | kMarkBit); }
+  constexpr MarkedPtr without_mark() const noexcept { return MarkedPtr(raw_ & ~kMarkBit); }
+
+  friend constexpr bool operator==(MarkedPtr a, MarkedPtr b) noexcept {
+    return a.raw_ == b.raw_;
+  }
+
+ private:
+  std::uintptr_t raw_{0};
+};
+
+}  // namespace wfe::util

@@ -1,0 +1,63 @@
+#pragma once
+// Fast, reproducible PRNG for workload generation.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64, plus Lemire's
+// nearly-divisionless bounded generation.  <random> engines are avoided on
+// the benchmark hot path: mersenne twister state is cache-hostile and
+// uniform_int_distribution is not reproducible across standard libraries.
+
+#include <cstdint>
+
+namespace wfe::util {
+
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64_next(sm);
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  /// Uniform value in [0, bound) (Lemire's multiply-shift; negligible bias
+  /// rejection is skipped intentionally — workload keys tolerate < 2^-32 bias).
+  constexpr std::uint64_t next_bounded(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Bernoulli trial with probability pct/100.
+  constexpr bool percent(unsigned pct) noexcept { return next_bounded(100) < pct; }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~std::uint64_t{0}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace wfe::util

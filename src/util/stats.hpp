@@ -1,0 +1,61 @@
+#pragma once
+// Small sample-statistics accumulator used by the bench harness
+// (per-repeat throughput, unreclaimed-object samples, latency percentiles).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace wfe::util {
+
+class Samples {
+ public:
+  void add(double v) { data_.push_back(v); }
+  void clear() { data_.clear(); }
+
+  std::size_t count() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double mean() const noexcept {
+    if (data_.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : data_) s += v;
+    return s / static_cast<double>(data_.size());
+  }
+
+  /// Sample (n-1) standard deviation; 0 for fewer than two samples.
+  double stddev() const noexcept {
+    if (data_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double v : data_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(data_.size() - 1));
+  }
+
+  double min() const noexcept {
+    return data_.empty() ? 0.0 : *std::min_element(data_.begin(), data_.end());
+  }
+  double max() const noexcept {
+    return data_.empty() ? 0.0 : *std::max_element(data_.begin(), data_.end());
+  }
+
+  /// Nearest-rank percentile, p in [0, 100].
+  double percentile(double p) const {
+    if (data_.empty()) return 0.0;
+    std::vector<double> sorted(data_);
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+
+  const std::vector<double>& values() const noexcept { return data_; }
+
+ private:
+  std::vector<double> data_;
+};
+
+}  // namespace wfe::util

@@ -1,0 +1,82 @@
+#pragma once
+// Thread-slot management.
+//
+// Trackers address per-thread state through explicit slot ids in
+// [0, max_threads).  Benchmarks assign slots positionally; applications
+// with dynamic thread lifecycles can use this registry instead: acquire a
+// slot for the thread's lifetime (RAII) and release it on exit, allowing
+// slot reuse by later threads.  Acquisition is lock-free (one CAS per
+// probed slot); release is a single store.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+#include "util/cacheline.hpp"
+
+namespace wfe::util {
+
+class ThreadRegistry {
+ public:
+  explicit ThreadRegistry(unsigned max_threads)
+      : n_(max_threads), used_(new Padded<std::atomic<bool>>[max_threads]) {
+    for (unsigned i = 0; i < n_; ++i)
+      used_[i].value.store(false, std::memory_order_relaxed);
+  }
+
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+
+  unsigned capacity() const noexcept { return n_; }
+
+  /// Claims a free slot. Throws std::runtime_error when all slots are
+  /// taken — matching the trackers' hard max_threads bound.
+  unsigned acquire() {
+    for (unsigned i = 0; i < n_; ++i) {
+      bool expected = false;
+      if (used_[i].value.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed)) {
+        return i;
+      }
+    }
+    throw std::runtime_error(
+        "ThreadRegistry: more concurrent threads than TrackerConfig::max_threads");
+  }
+
+  void release(unsigned slot) noexcept {
+    used_[slot].value.store(false, std::memory_order_release);
+  }
+
+  unsigned in_use() const noexcept {
+    unsigned count = 0;
+    for (unsigned i = 0; i < n_; ++i)
+      count += used_[i].value.load(std::memory_order_acquire) ? 1u : 0u;
+    return count;
+  }
+
+ private:
+  unsigned n_;
+  std::unique_ptr<Padded<std::atomic<bool>>[]> used_;
+};
+
+/// RAII slot ownership for one thread.
+class ThreadSlot {
+ public:
+  explicit ThreadSlot(ThreadRegistry& registry)
+      : registry_(registry), slot_(registry.acquire()) {}
+  ~ThreadSlot() { registry_.release(slot_); }
+
+  ThreadSlot(const ThreadSlot&) = delete;
+  ThreadSlot& operator=(const ThreadSlot&) = delete;
+
+  unsigned id() const noexcept { return slot_; }
+  operator unsigned() const noexcept { return slot_; }
+
+ private:
+  ThreadRegistry& registry_;
+  unsigned slot_;
+};
+
+}  // namespace wfe::util

@@ -1,0 +1,91 @@
+// reclaim::Block header semantics and the era-overlap predicate every
+// era-family scheme's can_delete() builds on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "reclaim/block.hpp"
+#include "reclaim/tracker.hpp"
+
+namespace {
+
+using namespace wfe::reclaim;
+
+TEST(Block, ConstantsAreDistinguished) {
+  EXPECT_EQ(kInfEra, ~std::uint64_t{0});
+  EXPECT_EQ(kInvPtr, ~std::uintptr_t{0});
+  // invptr must not be a plausible aligned pointer value.
+  EXPECT_NE(kInvPtr & 0x7u, 0u);
+}
+
+struct TestBlock : Block {
+  int payload = 0;
+};
+
+TEST(Block, EraOverlapInterior) {
+  TestBlock b;
+  b.alloc_era = 10;
+  b.retire_era = 20;
+  EXPECT_TRUE(era_overlaps(&b, 10));  // inclusive lower bound
+  EXPECT_TRUE(era_overlaps(&b, 15));
+  EXPECT_TRUE(era_overlaps(&b, 20));  // inclusive upper bound
+}
+
+TEST(Block, EraOverlapExterior) {
+  TestBlock b;
+  b.alloc_era = 10;
+  b.retire_era = 20;
+  EXPECT_FALSE(era_overlaps(&b, 9));
+  EXPECT_FALSE(era_overlaps(&b, 21));
+}
+
+TEST(Block, InfiniteEraNeverOverlaps) {
+  // ∞ is the "no reservation" sentinel: it must never pin anything, even
+  // blocks whose retire_era is itself ∞ (not yet retired).
+  TestBlock b;
+  b.alloc_era = 0;
+  b.retire_era = kInfEra;
+  EXPECT_FALSE(era_overlaps(&b, kInfEra));
+  EXPECT_TRUE(era_overlaps(&b, 5));
+}
+
+TEST(Block, PointSizedLifespan) {
+  TestBlock b;
+  b.alloc_era = 7;
+  b.retire_era = 7;
+  EXPECT_TRUE(era_overlaps(&b, 7));
+  EXPECT_FALSE(era_overlaps(&b, 6));
+  EXPECT_FALSE(era_overlaps(&b, 8));
+}
+
+TEST(Block, ConstructBlockInstallsDeleter) {
+  static int dtors = 0;
+  struct Counted : Block {
+    ~Counted() { ++dtors; }
+  };
+  dtors = 0;
+  Counted* c = construct_block<Counted>();
+  ASSERT_NE(c->deleter, nullptr);
+  c->deleter(c);
+  EXPECT_EQ(dtors, 1);
+}
+
+TEST(Block, HeaderIsFirstSubobject) {
+  // HP publishes Block* addresses and compares them against node
+  // addresses: the Block header must be the node's address.
+  TestBlock b;
+  EXPECT_EQ(static_cast<void*>(static_cast<Block*>(&b)),
+            static_cast<void*>(&b));
+}
+
+TEST(TrackerConfig, PaperDefaults) {
+  // §5 of the paper: ν=150, retire-scan ≥30, 16 fast-path attempts.
+  TrackerConfig cfg;
+  EXPECT_EQ(cfg.era_freq, 150u);
+  EXPECT_EQ(cfg.cleanup_freq, 30u);
+  EXPECT_EQ(cfg.fast_path_attempts, 16u);
+  EXPECT_FALSE(cfg.force_slow_path);
+}
+
+}  // namespace

@@ -1,0 +1,82 @@
+// ThreadRegistry / ThreadSlot: slot uniqueness, reuse, exhaustion, and
+// concurrent acquisition.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/thread_registry.hpp"
+
+namespace {
+
+using wfe::util::ThreadRegistry;
+using wfe::util::ThreadSlot;
+
+TEST(ThreadRegistry, SlotsAreUniqueAndInRange) {
+  ThreadRegistry reg(4);
+  std::set<unsigned> slots;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned s = reg.acquire();
+    EXPECT_LT(s, 4u);
+    EXPECT_TRUE(slots.insert(s).second) << "duplicate slot " << s;
+  }
+  EXPECT_EQ(reg.in_use(), 4u);
+}
+
+TEST(ThreadRegistry, ExhaustionThrows) {
+  ThreadRegistry reg(2);
+  reg.acquire();
+  reg.acquire();
+  EXPECT_THROW(reg.acquire(), std::runtime_error);
+}
+
+TEST(ThreadRegistry, ReleaseEnablesReuse) {
+  ThreadRegistry reg(1);
+  const unsigned s = reg.acquire();
+  reg.release(s);
+  EXPECT_EQ(reg.acquire(), s);
+}
+
+TEST(ThreadRegistry, RaiiSlotReleasesOnScopeExit) {
+  ThreadRegistry reg(1);
+  {
+    ThreadSlot slot(reg);
+    EXPECT_EQ(slot.id(), 0u);
+    EXPECT_EQ(reg.in_use(), 1u);
+  }
+  EXPECT_EQ(reg.in_use(), 0u);
+}
+
+TEST(ThreadRegistry, ConcurrentAcquisitionNeverDuplicates) {
+  constexpr unsigned kSlots = 8;
+  ThreadRegistry reg(kSlots);
+  std::atomic<int> claims_per_slot[kSlots] = {};
+  std::vector<std::thread> threads;
+  std::atomic<bool> overflow{false};
+  for (unsigned t = 0; t < kSlots; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 2000; ++round) {
+        try {
+          ThreadSlot slot(reg);
+          claims_per_slot[slot.id()].fetch_add(1);
+          // Holding the slot, no other thread may claim the same id: a
+          // duplicate would show as in_use() exceeding capacity — checked
+          // implicitly by acquire()'s CAS; here we just churn.
+        } catch (const std::runtime_error&) {
+          overflow.store(true);  // impossible: kSlots threads, kSlots slots
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(overflow.load());
+  EXPECT_EQ(reg.in_use(), 0u);
+  long total = 0;
+  for (auto& c : claims_per_slot) total += c.load();
+  EXPECT_EQ(total, 8 * 2000);
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Scheduler-perturbation stress: inject random yields and sleeps into
+// every thread so preemption lands INSIDE the narrow protocol windows
+// (between protect and validate, between delivery and head-swing, between
+// flag and splice).  On an oversubscribed host this is the highest-yield
+// adversarial schedule available without a model checker; invariants are
+// the same conservation/leak-freedom properties as elsewhere.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ds/crturn_queue.hpp"
+#include "ds/kp_queue.hpp"
+#include "ds/natarajan_bst.hpp"
+#include "tracker_types.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace wfe;
+
+/// Sprinkles scheduling noise: mostly nothing, sometimes a yield,
+/// occasionally a real sleep (forcing whole-quantum preemption windows).
+void perturb(util::Xoshiro256& rng) {
+  const auto roll = rng.next_bounded(1000);
+  if (roll < 30) {
+    std::this_thread::yield();
+  } else if (roll < 32) {
+    std::this_thread::sleep_for(std::chrono::microseconds(rng.next_bounded(200)));
+  }
+}
+
+reclaim::TrackerConfig stress_cfg(unsigned threads) {
+  reclaim::TrackerConfig cfg;
+  cfg.max_threads = threads;
+  cfg.max_hes = 5;
+  cfg.era_freq = 2;     // maximum era-clock pressure
+  cfg.cleanup_freq = 1; // scan on every retire: maximum reclamation pressure
+  return cfg;
+}
+
+template <class TR>
+class SchedulerStress : public ::testing::Test {};
+
+TYPED_TEST_SUITE(SchedulerStress, test::ReclaimingTrackers);
+
+TYPED_TEST(SchedulerStress, CrTurnQueueConservation) {
+  constexpr unsigned kThreads = 6;
+  TypeParam tracker(stress_cfg(kThreads));
+  {
+    ds::CrTurnQueue<std::uint64_t, TypeParam> q(tracker);
+    std::atomic<std::uint64_t> in{0}, out{0};
+    std::vector<std::thread> workers;
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+      workers.emplace_back([&, tid] {
+        util::Xoshiro256 rng(tid * 1299721 + 17);
+        for (int i = 0; i < 3000; ++i) {
+          perturb(rng);
+          if (rng.percent(50)) {
+            const std::uint64_t v = rng.next_bounded(999) + 1;
+            q.enqueue(v, tid);
+            in.fetch_add(v);
+          } else if (auto v = q.dequeue(tid)) {
+            out.fetch_add(*v);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    while (auto v = q.dequeue(0)) out.fetch_add(*v);
+    EXPECT_EQ(in.load(), out.load());
+  }
+  EXPECT_EQ(tracker.allocated(), tracker.freed() + tracker.unreclaimed());
+}
+
+TYPED_TEST(SchedulerStress, KpQueueConservation) {
+  constexpr unsigned kThreads = 6;
+  TypeParam tracker(stress_cfg(kThreads));
+  {
+    ds::KpQueue<std::uint64_t, TypeParam> q(tracker);
+    std::atomic<std::uint64_t> in{0}, out{0};
+    std::vector<std::thread> workers;
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+      workers.emplace_back([&, tid] {
+        util::Xoshiro256 rng(tid * 7919 + 5);
+        for (int i = 0; i < 2000; ++i) {
+          perturb(rng);
+          if (rng.percent(50)) {
+            const std::uint64_t v = rng.next_bounded(999) + 1;
+            q.enqueue(v, tid);
+            in.fetch_add(v);
+          } else if (auto v = q.dequeue(tid)) {
+            out.fetch_add(*v);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    while (auto v = q.dequeue(0)) out.fetch_add(*v);
+    EXPECT_EQ(in.load(), out.load());
+  }
+  EXPECT_EQ(tracker.allocated(), tracker.freed() + tracker.unreclaimed());
+}
+
+TYPED_TEST(SchedulerStress, BstBalanceAndLeakFreedom) {
+  constexpr unsigned kThreads = 6;
+  TypeParam tracker(stress_cfg(kThreads));
+  {
+    ds::NatarajanBst<std::uint64_t, TypeParam> bst(tracker);
+    std::atomic<long> balance{0};
+    std::vector<std::thread> workers;
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+      workers.emplace_back([&, tid] {
+        util::Xoshiro256 rng(tid * 104729 + 31);
+        for (int i = 0; i < 3000; ++i) {
+          perturb(rng);
+          // Narrow key range: maximal flag/tag/splice contention.
+          const std::uint64_t k = rng.next_bounded(24) + 1;
+          if (rng.percent(50)) {
+            if (bst.insert(k, k, tid)) balance.fetch_add(1);
+          } else {
+            if (bst.remove(k, tid)) balance.fetch_sub(1);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(static_cast<std::size_t>(balance.load()), bst.size_unsafe());
+  }
+  EXPECT_EQ(tracker.allocated(), tracker.freed() + tracker.unreclaimed());
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Unit tests for the 128-bit WCAS wrapper — the primitive the WFE
+// algorithm's correctness hangs on (paper §3.1).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/atomics.hpp"
+#include "util/marked_ptr.hpp"
+
+namespace {
+
+using wfe::util::AtomicPair;
+using wfe::util::Pair;
+
+TEST(AtomicPair, LayoutIsTwoAdjacentWords) {
+  static_assert(sizeof(AtomicPair) == 16);
+  static_assert(alignof(AtomicPair) == 16);
+  AtomicPair p(Pair{1, 2});
+  EXPECT_EQ(p.load_a(), 1u);
+  EXPECT_EQ(p.load_b(), 2u);
+  EXPECT_EQ(p.load_pair(), (Pair{1, 2}));
+}
+
+TEST(AtomicPair, WordStoresVisibleInPairView) {
+  AtomicPair p(Pair{0, 0});
+  p.store_a(7);
+  p.store_b(9);
+  EXPECT_EQ(p.load_pair(), (Pair{7, 9}));
+}
+
+TEST(AtomicPair, PairStoreVisibleInWordView) {
+  AtomicPair p(Pair{0, 0});
+  p.store_pair({11, 13});
+  EXPECT_EQ(p.load_a(), 11u);
+  EXPECT_EQ(p.load_b(), 13u);
+}
+
+TEST(AtomicPair, WcasSucceedsOnMatch) {
+  AtomicPair p(Pair{1, 2});
+  Pair expected{1, 2};
+  EXPECT_TRUE(p.wcas(expected, {3, 4}));
+  EXPECT_EQ(p.load_pair(), (Pair{3, 4}));
+}
+
+TEST(AtomicPair, WcasFailsOnMismatchAndReportsObserved) {
+  AtomicPair p(Pair{1, 2});
+  Pair expected{1, 99};  // wrong b-half
+  EXPECT_FALSE(p.wcas(expected, {3, 4}));
+  EXPECT_EQ(expected, (Pair{1, 2}));  // updated to the observed value
+  EXPECT_EQ(p.load_pair(), (Pair{1, 2}));
+}
+
+TEST(AtomicPair, WcasFailsWhenOnlyOneHalfDiffers) {
+  AtomicPair p(Pair{5, 6});
+  Pair ea{4, 6}, eb{5, 7};
+  EXPECT_FALSE(p.wcas_discard(ea, {0, 0}));
+  EXPECT_FALSE(p.wcas_discard(eb, {0, 0}));
+  EXPECT_EQ(p.load_pair(), (Pair{5, 6}));
+}
+
+TEST(AtomicPair, WcasDiscardKeepsExpectedUntouched) {
+  AtomicPair p(Pair{1, 1});
+  const Pair expected{2, 2};
+  EXPECT_FALSE(p.wcas_discard(expected, {3, 3}));
+  EXPECT_EQ(expected, (Pair{2, 2}));
+}
+
+// Concurrent WCAS increments on both halves: the sum invariant a == b
+// holds under contention iff the two words move atomically together.
+TEST(AtomicPair, ConcurrentWcasKeepsHalvesInLockstep) {
+  AtomicPair p(Pair{0, 0});
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&p] {
+      for (int i = 0; i < kIncrements; ++i) {
+        Pair cur = p.load_pair();
+        while (!p.wcas(cur, {cur.a + 1, cur.b + 1})) {
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const Pair final = p.load_pair();
+  EXPECT_EQ(final.a, final.b);
+  EXPECT_EQ(final.a, static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+// Pair loads must never observe a torn {new_a, old_b} while a writer
+// flips between two pair values whose halves are correlated.
+TEST(AtomicPair, PairLoadsAreNotTorn) {
+  AtomicPair p(Pair{0, 0});
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t v = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ++v;
+      p.store_pair({v, ~v});
+    }
+  });
+  for (int i = 0; i < 200000; ++i) {
+    const Pair seen = p.load_pair();
+    ASSERT_EQ(seen.b, seen.a == 0 ? std::uint64_t{0} : ~seen.a)
+        << "torn 128-bit read";
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(AtomicPair, NativeWcasReported) {
+  // Informational: on x86_64 with -mcx16, libatomic dispatches to
+  // cmpxchg16b even when this query conservatively answers false.
+  (void)wfe::util::wcas_is_native();
+  SUCCEED();
+}
+
+// ---- marked pointers ----
+
+TEST(MarkedPtr, PackUnpackRoundTrip) {
+  int x = 0;
+  const std::uintptr_t w = wfe::util::pack_ptr(&x, wfe::util::kMarkBit);
+  EXPECT_TRUE(wfe::util::is_marked(w));
+  EXPECT_FALSE(wfe::util::is_tagged(w));
+  EXPECT_EQ(wfe::util::unpack_ptr<int>(w), &x);
+}
+
+TEST(MarkedPtr, StripRemovesBothBits) {
+  int x = 0;
+  const std::uintptr_t w =
+      wfe::util::pack_ptr(&x, wfe::util::kMarkBit | wfe::util::kTagBit);
+  EXPECT_TRUE(wfe::util::is_marked(w));
+  EXPECT_TRUE(wfe::util::is_tagged(w));
+  EXPECT_EQ(wfe::util::strip(w), reinterpret_cast<std::uintptr_t>(&x));
+  EXPECT_EQ(wfe::util::bits_of(w), wfe::util::kMarkBit | wfe::util::kTagBit);
+}
+
+TEST(MarkedPtr, TypedWrapper) {
+  int x = 0;
+  wfe::util::MarkedPtr<int> m(&x, false);
+  EXPECT_FALSE(m.marked());
+  EXPECT_EQ(m.ptr(), &x);
+  auto marked = m.with_mark();
+  EXPECT_TRUE(marked.marked());
+  EXPECT_EQ(marked.ptr(), &x);
+  EXPECT_EQ(marked.without_mark(), m);
+}
+
+TEST(MarkedPtr, NullIsUnmarked) {
+  wfe::util::MarkedPtr<int> m;
+  EXPECT_EQ(m.ptr(), nullptr);
+  EXPECT_FALSE(m.marked());
+}
+
+}  // namespace

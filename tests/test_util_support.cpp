@@ -1,0 +1,161 @@
+// Unit tests for the PRNG, stats accumulator, barrier and padding
+// utilities underpinning the benchmark harness.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/barrier.hpp"
+#include "util/cacheline.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using wfe::util::Samples;
+using wfe::util::SpinBarrier;
+using wfe::util::Xoshiro256;
+
+TEST(Random, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 5);
+}
+
+TEST(Random, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100000; ++i) ASSERT_LT(rng.next_bounded(100), 100u);
+}
+
+TEST(Random, BoundedCoversRange) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.next_bounded(16));
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Random, PercentApproximatesProbability) {
+  Xoshiro256 rng(13);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.percent(30);
+  EXPECT_NEAR(hits / static_cast<double>(kTrials), 0.30, 0.01);
+}
+
+TEST(Random, SplitmixAdvancesState) {
+  std::uint64_t s = 0;
+  const auto v1 = wfe::util::splitmix64_next(s);
+  const auto v2 = wfe::util::splitmix64_next(s);
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(s, 0u);
+}
+
+// ---- stats ----
+
+TEST(Samples, MeanAndStddev) {
+  Samples s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Samples, EmptyIsZero) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 0.0);
+}
+
+TEST(Samples, SingleValueHasZeroStddev) {
+  Samples s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, PercentileInterpolates) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.05);
+}
+
+TEST(Samples, ClearResets) {
+  Samples s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+// ---- barrier ----
+
+TEST(SpinBarrier, ReleasesAllParties) {
+  constexpr unsigned kParties = 4;
+  SpinBarrier barrier(kParties);
+  std::atomic<int> before{0}, after{0};
+  std::vector<std::thread> threads;
+  for (unsigned i = 0; i < kParties; ++i) {
+    threads.emplace_back([&] {
+      before.fetch_add(1);
+      barrier.arrive_and_wait();
+      after.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(before.load(), 4);
+  EXPECT_EQ(after.load(), 4);
+}
+
+TEST(SpinBarrier, ReusableAcrossPhases) {
+  constexpr unsigned kParties = 3;
+  constexpr int kPhases = 50;
+  SpinBarrier barrier(kParties);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> violated{false};
+  for (unsigned i = 0; i < kParties; ++i) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // Between the two barriers every thread must see the full phase.
+        if (counter.load() < (phase + 1) * static_cast<int>(kParties))
+          violated.store(true);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violated.load());
+  EXPECT_EQ(counter.load(), kPhases * static_cast<int>(kParties));
+}
+
+// ---- padding ----
+
+TEST(Padded, SeparatesSlots) {
+  static_assert(sizeof(wfe::util::Padded<int>) >=
+                wfe::util::kFalseSharingRange);
+  static_assert(alignof(wfe::util::Padded<int>) ==
+                wfe::util::kFalseSharingRange);
+  wfe::util::Padded<int> a(5);
+  EXPECT_EQ(*a, 5);
+  *a = 7;
+  EXPECT_EQ(a.value, 7);
+}
+
+}  // namespace
