@@ -1,0 +1,210 @@
+// Sharded kv-store throughput sweep: threads x shard counts x read
+// ratios x reclamation schemes, emitting BENCH_kv.json for the perf
+// trajectory (util/json.hpp's shared row format).
+//
+// This is the ROADMAP's production-workload probe: unlike the figure
+// benches (one structure, one domain) it exercises per-shard
+// reclamation domains and batched retirement under mixed traffic.
+//
+// Environment knobs (shared names with the figure harness where the
+// meaning coincides):
+//   WFE_BENCH_SECONDS      seconds per data point        (default 0.3)
+//   WFE_BENCH_REPEATS      repeats per data point        (default 1)
+//   WFE_BENCH_THREAD_LIST  comma list                    (default "1,2,4,8")
+//   WFE_BENCH_PREFILL      keys prefilled                (default 20000)
+//   WFE_BENCH_KEY_RANGE    key range                     (default 40000)
+//   WFE_KV_SHARD_LIST      comma list of shard counts    (default "1,4,16")
+//   WFE_KV_READ_LIST       comma list of read percents   (default "50,90")
+//   WFE_KV_RETIRE_BATCH    per-thread retire burst size  (default 8)
+//   WFE_KV_JSON            output path                   (default BENCH_kv.json)
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/wfe.hpp"
+#include "core/wfe_ibr.hpp"
+#include "harness/runner.hpp"
+#include "kv/kv_store.hpp"
+#include "reclaim/ebr.hpp"
+#include "reclaim/he.hpp"
+#include "reclaim/hp.hpp"
+#include "reclaim/ibr.hpp"
+#include "reclaim/leak.hpp"
+#include "reclaim/qsbr.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace wfe;
+
+std::vector<unsigned> env_list(const char* name, std::vector<unsigned> fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  std::vector<unsigned> out;
+  unsigned cur = 0;
+  bool have = false;
+  for (const char* p = env;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      cur = cur * 10 + static_cast<unsigned>(*p - '0');
+      have = true;
+    } else {
+      if (have) out.push_back(cur);
+      cur = 0;
+      have = false;
+      if (*p == '\0') break;
+    }
+  }
+  return out.empty() ? fallback : out;
+}
+
+struct Params {
+  double seconds;
+  unsigned repeats;
+  std::uint64_t prefill;
+  std::uint64_t key_range;
+  unsigned retire_batch;
+  std::vector<unsigned> threads, shards, read_pcts;
+};
+
+/// Every scheme in the repo: the paper's comparison set plus the
+/// extensions (WFE-IBR, QSBR) — "all trackers" per the kv test matrix.
+template <class Fn>
+void for_each_kv_tracker(Fn&& fn) {
+  fn.template operator()<core::WfeTracker>();
+  fn.template operator()<core::WfeIbrTracker>();
+  fn.template operator()<reclaim::EbrTracker>();
+  fn.template operator()<reclaim::HeTracker>();
+  fn.template operator()<reclaim::HpTracker>();
+  fn.template operator()<reclaim::IbrTracker>();
+  fn.template operator()<reclaim::QsbrTracker>();
+  fn.template operator()<reclaim::LeakTracker>();
+}
+
+template <class TR>
+void run_tracker(const Params& pp, util::JsonWriter& j) {
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, TR>;
+  for (unsigned nshards : pp.shards) {
+    for (unsigned read_pct : pp.read_pcts) {
+      for (unsigned nthreads : pp.threads) {
+        kv::KvConfig cfg;
+        cfg.shards = nshards;
+        // Hold total bucket count roughly constant across shard counts
+        // so the sweep isolates domain partitioning, not table size.
+        cfg.buckets_per_shard =
+            std::max<std::size_t>(64, 4096 / std::max(1u, nshards));
+        cfg.tracker.max_threads = nthreads;
+        cfg.tracker.max_hes = Store::kSlotsNeeded;
+        cfg.tracker.retire_batch = pp.retire_batch;
+        Store store(cfg);
+        // Report the effective (power-of-two-rounded) shard count, not
+        // the requested one.
+        const std::size_t eff_shards = store.shard_count();
+
+        // Prefill cannot exceed the number of distinct keys; clamp so a
+        // figure-harness WFE_BENCH_PREFILL carried over in the
+        // environment can't spin this loop forever.
+        const std::uint64_t prefill = std::min(pp.prefill, pp.key_range);
+        util::Xoshiro256 seed_rng(42);
+        std::uint64_t inserted = 0;
+        while (inserted < prefill)
+          inserted += store.insert(seed_rng.next_bounded(pp.key_range) + 1,
+                                   inserted, 0)
+                          ? 1
+                          : 0;
+
+        harness::RunConfig rc;
+        rc.threads = nthreads;
+        rc.seconds = pp.seconds;
+        rc.repeats = pp.repeats;
+        harness::RunResult r = harness::run_timed(
+            rc,
+            [&](util::Xoshiro256& rng, unsigned tid) {
+              const std::uint64_t k = rng.next_bounded(pp.key_range) + 1;
+              if (rng.percent(read_pct)) {
+                store.get(k, tid);
+              } else {
+                store.put(k, k, tid);
+              }
+            },
+            [&] {
+              std::uint64_t u = 0;
+              const kv::KvStats st = store.stats();
+              for (const auto& s : st.shards)
+                u += s.unreclaimed + s.pending_retired;
+              return u;
+            });
+
+        const kv::ShardStats tot = store.stats().total();
+        std::printf(
+            "%-8s shards=%-3zu read=%u%% threads=%-3u  %8.3f Mops/s  "
+            "unreclaimed(avg)=%.0f slow_path=%llu\n",
+            TR::name(), eff_shards, read_pct, nthreads, r.mops,
+            r.avg_unreclaimed,
+            static_cast<unsigned long long>(tot.slow_path_entries));
+
+        j.begin_object();
+        j.kv("tracker", TR::name());
+        j.kv("shards", static_cast<std::uint64_t>(eff_shards));
+        j.kv("read_pct", read_pct);
+        j.kv("threads", nthreads);
+        j.kv("retire_batch", pp.retire_batch);
+        j.kv("mops", r.mops);
+        j.kv("mops_stddev", r.mops_stddev);
+        j.kv("avg_unreclaimed", r.avg_unreclaimed);
+        j.kv("ops", tot.ops());
+        j.kv("retired", tot.retired);
+        j.kv("batch_flushes", tot.batch_flushes);
+        j.kv("slow_path_entries", tot.slow_path_entries);
+        j.end_object();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  Params pp;
+  pp.seconds = harness::env_double("WFE_BENCH_SECONDS", 0.3);
+  pp.repeats = static_cast<unsigned>(harness::env_long("WFE_BENCH_REPEATS", 1));
+  pp.prefill =
+      static_cast<std::uint64_t>(harness::env_long("WFE_BENCH_PREFILL", 20000));
+  pp.key_range = static_cast<std::uint64_t>(
+      harness::env_long("WFE_BENCH_KEY_RANGE", 40000));
+  pp.retire_batch =
+      static_cast<unsigned>(harness::env_long("WFE_KV_RETIRE_BATCH", 8));
+  pp.threads = env_list("WFE_BENCH_THREAD_LIST", {1, 2, 4, 8});
+  pp.shards = env_list("WFE_KV_SHARD_LIST", {1, 4, 16});
+  pp.read_pcts = env_list("WFE_KV_READ_LIST", {50, 90});
+  const char* out_path = std::getenv("WFE_KV_JSON");
+  if (out_path == nullptr) out_path = "BENCH_kv.json";
+
+  std::printf("=== kv throughput — shards x read-ratio x threads ===\n");
+  std::printf("prefill=%llu key_range=%llu seconds=%.2f repeats=%u batch=%u\n",
+              static_cast<unsigned long long>(pp.prefill),
+              static_cast<unsigned long long>(pp.key_range), pp.seconds,
+              pp.repeats, pp.retire_batch);
+
+  util::JsonWriter j;
+  j.begin_object();
+  j.kv("bench", "kv_throughput");
+  j.kv("prefill", pp.prefill);
+  j.kv("key_range", pp.key_range);
+  j.kv("seconds", pp.seconds);
+  j.kv("repeats", pp.repeats);
+  j.key("results").begin_array();
+  for_each_kv_tracker([&]<class TR>() { run_tracker<TR>(pp, j); });
+  j.end_array();
+  j.end_object();
+
+  if (!j.write_file(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -1,11 +1,12 @@
-// Read-mostly key-value store (the paper's Fig. 10 regime: 90% get / 10%
-// put) built on the Michael hash map, demonstrating the property the
-// paper positions era schemes around: a stalled reader does NOT stall
-// reclamation.
+// Sharded kv-store engine (src/kv/) under WFE: mixed traffic over
+// per-shard reclamation domains, then the paper's stalled-reader
+// experiment run against ONE shard — demonstrating that domain
+// isolation confines a parked reader's pinned garbage to its shard
+// while every other domain keeps reclaiming.
 //
-// Phase 1: normal mixed traffic.  Phase 2: one reader parks itself
-// mid-operation (holding a reservation) while writers keep churning —
-// with WFE the unreclaimed count plateaus instead of growing.
+// Phase 1: 4 threads, 90% get / 10% put, stats snapshot per shard.
+// Phase 2: a reader parks inside shard 0's domain; writers churn the
+// whole store — shard 0's unreclaimed count is pinned, the rest drain.
 
 #include <atomic>
 #include <cstdio>
@@ -13,28 +14,29 @@
 #include <vector>
 
 #include "core/wfe.hpp"
-#include "ds/hash_map.hpp"
+#include "kv/kv_store.hpp"
 #include "util/random.hpp"
 
 int main() {
   using namespace wfe;
-  reclaim::TrackerConfig cfg;
-  cfg.max_threads = 4;
-  cfg.max_hes = 2;
-  core::WfeTracker tracker(cfg);
-  ds::HashMap<std::uint64_t, std::uint64_t, core::WfeTracker> store(tracker,
-                                                                    4096);
-  constexpr std::uint64_t kKeys = 10000;
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, core::WfeTracker>;
 
-  // Load the store.
-  util::Xoshiro256 seed_rng(3);
+  kv::KvConfig cfg;
+  cfg.shards = 4;
+  cfg.buckets_per_shard = 1024;
+  cfg.tracker.max_threads = 4;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  cfg.tracker.retire_batch = 8;  // burst unlinked nodes into retire()
+  Store store(cfg);
+
+  constexpr std::uint64_t kKeys = 10000;
   for (std::uint64_t k = 1; k <= kKeys; ++k) store.insert(k, k * k, 0);
-  std::printf("loaded %llu keys, %zu buckets\n",
-              static_cast<unsigned long long>(kKeys), store.bucket_count());
+  std::printf("loaded %llu keys into %zu shards x %zu buckets\n",
+              static_cast<unsigned long long>(kKeys), store.shard_count(),
+              store.shard_at(0).bucket_count());
 
   // Phase 1 — mixed traffic from 4 threads.
   std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> gets{0}, puts{0};
   std::vector<std::thread> workers;
   for (unsigned tid = 0; tid < 4; ++tid) {
     workers.emplace_back([&, tid] {
@@ -43,10 +45,8 @@ int main() {
         const std::uint64_t k = rng.next_bounded(kKeys) + 1;
         if (rng.percent(90)) {
           store.get(k, tid);
-          gets.fetch_add(1, std::memory_order_relaxed);
         } else {
           store.put(k, k, tid);
-          puts.fetch_add(1, std::memory_order_relaxed);
         }
       }
     });
@@ -54,23 +54,39 @@ int main() {
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
   stop.store(true);
   for (auto& t : workers) t.join();
-  std::printf("phase 1: %llu gets, %llu puts, unreclaimed=%llu\n",
-              static_cast<unsigned long long>(gets.load()),
-              static_cast<unsigned long long>(puts.load()),
-              static_cast<unsigned long long>(tracker.unreclaimed()));
 
-  // Phase 2 — a reader parks mid-operation; writers churn removes+inserts.
+  const kv::KvStats st = store.stats();
+  for (const auto& s : st.shards) {
+    std::printf(
+        "shard %u: %llu gets %llu puts | retired=%llu unreclaimed=%llu "
+        "pending=%llu flushes=%llu slow_path=%llu\n",
+        s.shard, static_cast<unsigned long long>(s.gets),
+        static_cast<unsigned long long>(s.puts),
+        static_cast<unsigned long long>(s.retired),
+        static_cast<unsigned long long>(s.unreclaimed),
+        static_cast<unsigned long long>(s.pending_retired),
+        static_cast<unsigned long long>(s.batch_flushes),
+        static_cast<unsigned long long>(s.slow_path_entries));
+  }
+  const kv::ShardStats tot = st.total();
+  std::printf("phase 1 total: %llu ops, unreclaimed=%llu\n",
+              static_cast<unsigned long long>(tot.ops()),
+              static_cast<unsigned long long>(tot.unreclaimed));
+
+  // Phase 2 — park a reader holding a reservation inside shard 0's
+  // domain; churn writes across all shards.
   struct Probe : reclaim::Block {};
   std::atomic<bool> stop2{false};
   std::thread parked([&] {
-    Probe* probe = tracker.alloc<Probe>(3);
+    auto& domain = store.shard_at(0).tracker();
+    Probe* probe = domain.alloc<Probe>(3);
     std::atomic<std::uintptr_t> root{reinterpret_cast<std::uintptr_t>(probe)};
-    tracker.begin_op(3);
-    tracker.protect_word(root, 0, 3, nullptr);  // reservation held...
+    domain.begin_op(3);
+    domain.protect_word(root, 0, 3, nullptr);  // reservation held...
     while (!stop2.load(std::memory_order_relaxed))
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    tracker.end_op(3);  // ...until released here
-    tracker.dealloc(probe, 3);
+    domain.end_op(3);  // ...until released here
+    domain.dealloc(probe, 3);
   });
   std::vector<std::thread> writers;
   for (unsigned tid = 0; tid < 3; ++tid) {
@@ -85,10 +101,11 @@ int main() {
   }
   for (int sample = 1; sample <= 5; ++sample) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    std::printf("phase 2 sample %d: unreclaimed=%llu (bounded despite the "
-                "parked reader)\n",
-                sample,
-                static_cast<unsigned long long>(tracker.unreclaimed()));
+    const kv::KvStats snap = store.stats();
+    std::printf("phase 2 sample %d: unreclaimed per shard =", sample);
+    for (const auto& s : snap.shards)
+      std::printf(" %llu", static_cast<unsigned long long>(s.unreclaimed));
+    std::printf("  (WFE bounds shard 0; other domains unaffected)\n");
   }
   stop2.store(true);
   parked.join();

@@ -4,6 +4,11 @@
 //
 // Keys are spread over buckets with a splitmix64 finalizer so adjacent
 // integer keys (the benchmark's uniform key range) do not share buckets.
+//
+// The bucket-array core is split out as `BucketArray` so other layers
+// can embed it without duplicating the routing logic: `HashMap` below is
+// the figure-bench-facing wrapper, and the kv shards (src/kv/shard.hpp)
+// wrap one BucketArray per reclamation domain.
 
 #include <cstddef>
 #include <cstdint>
@@ -16,14 +21,32 @@
 
 namespace wfe::ds {
 
+/// splitmix64-finalized hash shared by bucket routing and (in the kv
+/// store) shard routing; exposed so callers can carve independent bit
+/// ranges out of one hash computation.
+inline std::uint64_t hash_key(std::uint64_t key) noexcept {
+  std::uint64_t h = key;
+  return util::splitmix64_next(h);  // finalizer: h is the evolved state's hash
+}
+
+inline std::size_t round_up_pow2(std::size_t v) noexcept {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Fixed power-of-two array of Harris-Michael list buckets: the reusable
+/// core of the hash map.  Routing uses the LOW bits of hash_key(); the
+/// kv store's shard routing uses the high bits, so the two never
+/// correlate even though they share one hash evaluation.
 template <class K, class V, reclaim::tracker_for Tracker>
-class HashMap {
+class BucketArray {
  public:
   using Bucket = HmList<K, V, Tracker>;
   static constexpr unsigned kSlotsNeeded = Bucket::kSlotsNeeded;
 
   /// `bucket_count` is rounded up to a power of two.
-  explicit HashMap(Tracker& tracker, std::size_t bucket_count = 16384)
+  explicit BucketArray(Tracker& tracker, std::size_t bucket_count = 16384)
       : mask_(round_up_pow2(bucket_count) - 1),
         buckets_(std::make_unique<BucketSlot[]>(mask_ + 1)) {
     for (std::size_t i = 0; i <= mask_; ++i)
@@ -35,6 +58,9 @@ class HashMap {
   }
   bool put(const K& key, const V& value, unsigned tid) {
     return bucket(key).put(key, value, tid);
+  }
+  bool update(const K& key, const V& value, unsigned tid) {
+    return bucket(key).update(key, value, tid);
   }
   std::optional<V> remove(const K& key, unsigned tid) {
     return bucket(key).remove(key, tid);
@@ -48,10 +74,22 @@ class HashMap {
 
   std::size_t bucket_count() const noexcept { return mask_ + 1; }
 
+  /// Bucket a key routes to (distribution tests / debugging).
+  std::size_t bucket_index(const K& key) const noexcept {
+    return static_cast<std::size_t>(hash_key(static_cast<std::uint64_t>(key))) &
+           mask_;
+  }
+
   std::size_t size_unsafe() const noexcept {
     std::size_t n = 0;
     for (std::size_t i = 0; i <= mask_; ++i) n += buckets_[i].list->size_unsafe();
     return n;
+  }
+
+  /// Quiescent iteration over every (key, value) pair (bucket order).
+  template <class Fn>
+  void for_each_unsafe(Fn&& fn) const {
+    for (std::size_t i = 0; i <= mask_; ++i) buckets_[i].list->for_each_unsafe(fn);
   }
 
  private:
@@ -59,20 +97,20 @@ class HashMap {
     std::unique_ptr<Bucket> list;
   };
 
-  static std::size_t round_up_pow2(std::size_t v) noexcept {
-    std::size_t p = 1;
-    while (p < v) p <<= 1;
-    return p;
-  }
-
   Bucket& bucket(const K& key) noexcept {
-    std::uint64_t h = static_cast<std::uint64_t>(key);
-    h = util::splitmix64_next(h);  // finalizer: h is the evolved state's hash
-    return *buckets_[h & mask_].list;
+    return *buckets_[bucket_index(key)].list;
   }
 
   std::size_t mask_;
   std::unique_ptr<BucketSlot[]> buckets_;
+};
+
+/// The paper's hash-map workload interface: a thin name for BucketArray
+/// (kept as its own type so figure benches and tests read as before).
+template <class K, class V, reclaim::tracker_for Tracker>
+class HashMap : public BucketArray<K, V, Tracker> {
+ public:
+  using BucketArray<K, V, Tracker>::BucketArray;
 };
 
 }  // namespace wfe::ds

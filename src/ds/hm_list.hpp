@@ -77,6 +77,23 @@ class HmList {
     return was_absent;
   }
 
+  /// Replace the value of an existing key; fails (without inserting) if
+  /// the key is absent.  Like put(), not an atomic replace: node values
+  /// are immutable, so the old node is unlinked and a fresh one inserted,
+  /// and a concurrent reader can observe the key momentarily absent.
+  bool update(const K& key, const V& value, unsigned tid) {
+    tracker_.begin_op(tid);
+    bool updated = false;
+    // Linearizes at the successful remove: only a thread that actually
+    // unlinked the old node re-inserts, so an absent key stays absent.
+    if (remove_impl(key, tid).has_value()) {
+      while (!insert_impl(key, value, tid)) remove_impl(key, tid);
+      updated = true;
+    }
+    tracker_.end_op(tid);
+    return updated;
+  }
+
   /// Removes key; returns its value if present.
   std::optional<V> remove(const K& key, unsigned tid) {
     tracker_.begin_op(tid);
@@ -96,6 +113,18 @@ class HmList {
   }
 
   bool contains(const K& key, unsigned tid) { return get(key, tid).has_value(); }
+
+  /// Quiescent iteration over unmarked (key, value) pairs in key order.
+  /// Like size_unsafe(): a snapshot helper, not linearizable.
+  template <class Fn>
+  void for_each_unsafe(Fn&& fn) const {
+    for (auto w = head_.load(std::memory_order_acquire); util::strip(w) != 0;) {
+      const Node* node = util::unpack_ptr<Node>(w);
+      const auto next = node->next.load(std::memory_order_acquire);
+      if (!util::is_marked(next)) fn(node->key, node->value);
+      w = next;
+    }
+  }
 
   /// Quiescent size (test helper; not linearizable under concurrency).
   std::size_t size_unsafe() const noexcept {

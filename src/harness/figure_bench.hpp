@@ -12,8 +12,12 @@
 //   WFE_BENCH_THREAD_LIST  comma list, e.g. "1,8,16,24" (default: pow2 sweep)
 //   WFE_BENCH_PREFILL      prefill elements             (default 50000, as paper)
 //   WFE_BENCH_KEY_RANGE    key range                    (default 100000, as paper)
+//   WFE_BENCH_JSON         if set: also write the series to this path as
+//                          JSON (same row format as BENCH_kv.json, so all
+//                          benches feed one perf trajectory)
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,6 +31,7 @@
 #include "reclaim/hp.hpp"
 #include "reclaim/ibr.hpp"
 #include "reclaim/leak.hpp"
+#include "util/json.hpp"
 
 namespace wfe::harness {
 
@@ -144,6 +149,34 @@ int run_figure(const FigureSpec& spec, Factory&& factory) {
   detail::print_table("throughput (Mops/s):", threads, schemes, data, false);
   detail::print_table("avg unreclaimed objects:", threads, schemes, data, true);
   std::printf("\n");
+
+  if (const char* json_path = std::getenv("WFE_BENCH_JSON")) {
+    util::JsonWriter j;
+    j.begin_object();
+    j.kv("bench", spec.figure);
+    j.kv("ds", spec.ds_name);
+    j.kv("mix", mix_name(w.mix));
+    j.kv("prefill", w.prefill);
+    j.kv("key_range", w.key_range);
+    j.kv("seconds", rc.seconds);
+    j.kv("repeats", rc.repeats);
+    j.key("results").begin_array();
+    for (const auto& s : schemes) {
+      const detail::Series& ser = data.at(s);
+      for (std::size_t row = 0; row < threads.size(); ++row) {
+        j.begin_object();
+        j.kv("tracker", s.c_str());
+        j.kv("threads", threads[row]);
+        j.kv("mops", ser.mops[row]);
+        j.kv("avg_unreclaimed", ser.unreclaimed[row]);
+        j.end_object();
+      }
+    }
+    j.end_array();
+    j.end_object();
+    if (!j.write_file(json_path))
+      std::fprintf(stderr, "WFE_BENCH_JSON: cannot write %s\n", json_path);
+  }
   return 0;
 }
 

@@ -1,0 +1,122 @@
+#pragma once
+// KvStore<K, V, Tracker>: power-of-two sharded key-value engine, each
+// shard an independent reclamation domain (see kv/shard.hpp).
+//
+// Routing carves two independent bit ranges out of ONE splitmix64 hash
+// evaluation: the shard index comes from the HIGH bits, the in-shard
+// bucket from the LOW bits (ds::BucketArray).  Adjacent integer keys
+// therefore spread over shards and buckets without correlation between
+// the two levels.
+//
+// Thread identity: one global tid space, shared by every shard's
+// tracker (each is configured with the same max_threads).  A thread
+// only ever holds reservations in the shard it is currently operating
+// in, so per-shard reservation scans stay domain-local.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ds/hash_map.hpp"
+#include "kv/shard.hpp"
+#include "kv/stats.hpp"
+#include "reclaim/tracker.hpp"
+
+namespace wfe::kv {
+
+struct KvConfig {
+  std::size_t shards = 8;             ///< rounded up to a power of two
+  std::size_t buckets_per_shard = 2048;  ///< rounded up to a power of two
+  /// Base tracker config applied to every shard's domain; max_threads is
+  /// the store-wide tid space, retire_batch the per-thread burst size
+  /// handed to retire() in one go (see kv/batch_retire.hpp).
+  reclaim::TrackerConfig tracker;
+};
+
+template <class K, class V, reclaim::tracker_for Tracker>
+class KvStore {
+ public:
+  using ShardT = Shard<K, V, Tracker>;
+  static constexpr unsigned kSlotsNeeded = ShardT::kSlotsNeeded;
+
+  explicit KvStore(const KvConfig& cfg)
+      : shard_mask_(ds::round_up_pow2(cfg.shards) - 1) {
+    shards_.reserve(shard_mask_ + 1);
+    for (std::size_t i = 0; i <= shard_mask_; ++i) {
+      reclaim::TrackerConfig tc = cfg.tracker;
+      tc.domain_id = static_cast<unsigned>(i);
+      shards_.push_back(
+          std::make_unique<ShardT>(tc, cfg.buckets_per_shard));
+    }
+  }
+
+  std::optional<V> get(const K& key, unsigned tid) {
+    return shard(key).get(key, tid);
+  }
+  bool contains(const K& key, unsigned tid) {
+    return shard(key).contains(key, tid);
+  }
+  /// Insert-or-replace; true when the key was absent.
+  bool put(const K& key, const V& value, unsigned tid) {
+    return shard(key).put(key, value, tid);
+  }
+  /// Insert-if-absent; false (no write) when present.
+  bool insert(const K& key, const V& value, unsigned tid) {
+    return shard(key).insert(key, value, tid);
+  }
+  /// Replace-if-present; false (no write) when absent.
+  bool update(const K& key, const V& value, unsigned tid) {
+    return shard(key).update(key, value, tid);
+  }
+  std::optional<V> remove(const K& key, unsigned tid) {
+    return shard(key).remove(key, tid);
+  }
+
+  std::size_t shard_count() const noexcept { return shard_mask_ + 1; }
+
+  /// Shard a key routes to (distribution tests, targeted flushes).
+  std::size_t shard_index(const K& key) const noexcept {
+    // High bits of the same hash whose low bits pick the bucket.
+    const std::uint64_t h = ds::hash_key(static_cast<std::uint64_t>(key));
+    return static_cast<std::size_t>(h >> 32) & shard_mask_;
+  }
+
+  ShardT& shard_at(std::size_t i) noexcept { return *shards_[i]; }
+  const ShardT& shard_at(std::size_t i) const noexcept { return *shards_[i]; }
+
+  /// Quiescent total size across shards (test/ops helper).
+  std::size_t size_unsafe() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->size_unsafe();
+    return n;
+  }
+
+  /// Quiescent iteration over every (key, value) pair, shard by shard.
+  template <class Fn>
+  void for_each_unsafe(Fn&& fn) const {
+    for (const auto& s : shards_) s->for_each_unsafe(fn);
+  }
+
+  /// Hand `tid`'s buffered retire bursts in every shard to the domain
+  /// trackers (call before a thread goes idle for a long time).
+  void flush_retired(unsigned tid) noexcept {
+    for (auto& s : shards_) s->flush_retired(tid);
+  }
+
+  KvStats stats() const {
+    KvStats st;
+    st.shards.reserve(shards_.size());
+    for (const auto& s : shards_) st.shards.push_back(s->stats());
+    return st;
+  }
+
+ private:
+  ShardT& shard(const K& key) noexcept { return *shards_[shard_index(key)]; }
+
+  std::size_t shard_mask_;
+  std::vector<std::unique_ptr<ShardT>> shards_;
+};
+
+}  // namespace wfe::kv

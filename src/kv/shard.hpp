@@ -1,0 +1,116 @@
+#pragma once
+// One kv-store shard: an independent reclamation domain (its own tracker
+// instance built from a per-shard TrackerConfig) plus a Harris-Michael
+// bucket array instantiated over the batched-retire facade.
+//
+// Domain isolation is the design point: retire lists, era/epoch
+// counters, reservation scans and (for WFE) help-request traffic are all
+// per-tracker state, so giving each shard its own tracker means
+//   * a stalled reader pins garbage only in ITS shard,
+//   * retire-side scans are O(threads x slots) over one domain, not the
+//     whole store,
+//   * era bumps in hot shards don't dilate lifespans in cold ones.
+// Cross-shard operations never share tracker state, so shards scale
+// embarrassingly until the keyspace itself is contended.
+//
+// Destruction order matters and is encoded by member order below:
+// map_ (deallocs live nodes) -> batched_ (flushes pending bursts into
+// tracker_) -> tracker_ (drains its retire lists).  C++ destroys members
+// in reverse declaration order, so tracker_ is declared first.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "ds/hash_map.hpp"
+#include "kv/batch_retire.hpp"
+#include "kv/stats.hpp"
+#include "reclaim/tracker.hpp"
+#include "util/stats.hpp"
+
+namespace wfe::kv {
+
+template <class K, class V, reclaim::tracker_for Tracker>
+class Shard {
+ public:
+  using Facade = BatchedTracker<Tracker>;
+  using Map = ds::BucketArray<K, V, Facade>;
+  static constexpr unsigned kSlotsNeeded = Map::kSlotsNeeded;
+
+  Shard(const reclaim::TrackerConfig& cfg, std::size_t buckets)
+      : tracker_(cfg),
+        batched_(tracker_),
+        map_(batched_, buckets),
+        ops_(cfg.max_threads) {}
+
+  std::optional<V> get(const K& key, unsigned tid) {
+    ops_.inc(kGet, tid);
+    return map_.get(key, tid);
+  }
+  bool contains(const K& key, unsigned tid) {
+    ops_.inc(kGet, tid);
+    return map_.contains(key, tid);
+  }
+  /// Insert-or-replace; true when the key was absent.
+  bool put(const K& key, const V& value, unsigned tid) {
+    ops_.inc(kPut, tid);
+    return map_.put(key, value, tid);
+  }
+  /// Insert-if-absent; false (no write) when present.
+  bool insert(const K& key, const V& value, unsigned tid) {
+    ops_.inc(kPut, tid);
+    return map_.insert(key, value, tid);
+  }
+  /// Replace-if-present; false (no write) when absent.
+  bool update(const K& key, const V& value, unsigned tid) {
+    ops_.inc(kUpdate, tid);
+    return map_.update(key, value, tid);
+  }
+  std::optional<V> remove(const K& key, unsigned tid) {
+    ops_.inc(kRemove, tid);
+    return map_.remove(key, tid);
+  }
+
+  std::size_t size_unsafe() const noexcept { return map_.size_unsafe(); }
+  std::size_t bucket_count() const noexcept { return map_.bucket_count(); }
+
+  template <class Fn>
+  void for_each_unsafe(Fn&& fn) const {
+    map_.for_each_unsafe(fn);
+  }
+
+  /// Hand this thread's buffered retire burst to the domain tracker.
+  void flush_retired(unsigned tid) noexcept { batched_.flush(tid); }
+
+  Tracker& tracker() noexcept { return tracker_; }
+  const Tracker& tracker() const noexcept { return tracker_; }
+
+  ShardStats stats() const noexcept {
+    ShardStats s;
+    s.shard = tracker_.config().domain_id;
+    s.gets = ops_.sum(kGet);
+    s.puts = ops_.sum(kPut);
+    s.removes = ops_.sum(kRemove);
+    s.updates = ops_.sum(kUpdate);
+    s.allocated = tracker_.allocated();
+    s.freed = tracker_.freed();
+    s.retired = tracker_.retired();
+    s.unreclaimed = tracker_.unreclaimed();
+    s.retire_backlog = tracker_.retire_backlog();
+    s.pending_retired = batched_.pending_retired();
+    s.batch_flushes = batched_.batch_flushes();
+    if constexpr (requires(const Tracker& t) { t.slow_path_entries(); })
+      s.slow_path_entries = tracker_.slow_path_entries();
+    return s;
+  }
+
+ private:
+  enum OpLane : unsigned { kGet, kPut, kRemove, kUpdate, kLanes };
+
+  Tracker tracker_;  ///< the shard's reclamation domain
+  Facade batched_;
+  Map map_;
+  util::PerThreadCounters<kLanes> ops_;
+};
+
+}  // namespace wfe::kv

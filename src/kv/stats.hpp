@@ -1,0 +1,86 @@
+#pragma once
+// Snapshot stats for the sharded kv store.
+//
+// Two layers: per-shard (one reclamation domain each) and the aggregate.
+// All numbers are racy relaxed reads — consistent enough for dashboards
+// and benches, never used for correctness.  Built on
+// util::PerThreadCounter (util/stats.hpp) so the hot path stays an
+// uncontended relaxed increment.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace wfe::kv {
+
+/// One shard = one reclamation domain.  `slow_path_entries` is WFE-only
+/// (0 for other schemes): how often readers in this domain fell off the
+/// wait-free fast path and requested helping (paper §3.3).
+struct ShardStats {
+  unsigned shard = 0;
+
+  // Operation counts since construction.
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t updates = 0;
+
+  // Reclamation-domain counters (TrackerBase).
+  std::uint64_t allocated = 0;
+  std::uint64_t freed = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t unreclaimed = 0;     ///< retired, not yet freed
+  std::uint64_t retire_backlog = 0;  ///< queued on the domain's retire lists
+  std::uint64_t pending_retired = 0; ///< buffered in the batch adapter
+  std::uint64_t batch_flushes = 0;
+  std::uint64_t slow_path_entries = 0;  ///< WFE help requests (else 0)
+
+  std::uint64_t ops() const noexcept { return gets + puts + removes + updates; }
+};
+
+struct KvStats {
+  std::vector<ShardStats> shards;
+
+  ShardStats total() const noexcept {
+    ShardStats t;
+    for (const ShardStats& s : shards) {
+      t.gets += s.gets;
+      t.puts += s.puts;
+      t.removes += s.removes;
+      t.updates += s.updates;
+      t.allocated += s.allocated;
+      t.freed += s.freed;
+      t.retired += s.retired;
+      t.unreclaimed += s.unreclaimed;
+      t.retire_backlog += s.retire_backlog;
+      t.pending_retired += s.pending_retired;
+      t.batch_flushes += s.batch_flushes;
+      t.slow_path_entries += s.slow_path_entries;
+    }
+    return t;
+  }
+};
+
+/// Serializes one ShardStats as a flat JSON object (shared by the kv
+/// bench's BENCH_kv.json and any future stats endpoint).
+inline void to_json(util::JsonWriter& j, const ShardStats& s) {
+  j.begin_object();
+  j.kv("shard", s.shard);
+  j.kv("gets", s.gets);
+  j.kv("puts", s.puts);
+  j.kv("removes", s.removes);
+  j.kv("updates", s.updates);
+  j.kv("allocated", s.allocated);
+  j.kv("freed", s.freed);
+  j.kv("retired", s.retired);
+  j.kv("unreclaimed", s.unreclaimed);
+  j.kv("retire_backlog", s.retire_backlog);
+  j.kv("pending_retired", s.pending_retired);
+  j.kv("batch_flushes", s.batch_flushes);
+  j.kv("slow_path_entries", s.slow_path_entries);
+  j.end_object();
+}
+
+}  // namespace wfe::kv

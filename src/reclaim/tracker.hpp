@@ -41,6 +41,13 @@ struct TrackerConfig {
   std::uint64_t cleanup_freq = 30;   ///< retires between retire-list scans
   unsigned fast_path_attempts = 16;  ///< WFE only
   bool force_slow_path = false;      ///< WFE only: stress knob (paper §5)
+  // Domain-local knobs: a tracker instance is one reclamation *domain*
+  // (the kv shards give every shard its own).  `domain_id` labels the
+  // domain in stats output; `retire_batch` is the number of unlinked
+  // blocks a BatchedTracker buffers per thread before handing them to
+  // retire() in one burst (1 = unbatched).
+  unsigned domain_id = 0;
+  unsigned retire_batch = 1;
 };
 
 namespace detail {
@@ -64,7 +71,9 @@ class PerThread {
 /// Per-thread mutable bookkeeping common to every scheme.
 struct ThreadData {
   Block* retire_head{nullptr};
-  std::uint64_t retire_count{0};      ///< currently queued
+  /// Currently queued on the retire list.  Written only by the owning
+  /// thread; atomic (relaxed) so stats snapshots may read it racily.
+  std::atomic<std::uint64_t> retire_count{0};
   std::uint64_t retire_since_scan{0}; ///< cleanup_freq counter
   std::uint64_t alloc_since_bump{0};  ///< era_freq counter
   // Stats (relaxed; summed on demand by readers).
@@ -108,6 +117,11 @@ class TrackerBase {
     const std::uint64_t a = allocated(), f = freed();
     return a > f ? a - f : 0;
   }
+  /// Blocks currently queued on retire lists awaiting a scan (racy
+  /// snapshot; the kv stats API reports this as the per-domain backlog).
+  std::uint64_t retire_backlog() const noexcept {
+    return sum(&detail::ThreadData::retire_count);
+  }
 
   /// Immediate destruction for quiescent contexts (data-structure
   /// destructors).  Never call while other threads may hold references.
@@ -127,7 +141,7 @@ class TrackerBase {
     auto& td = threads_[tid];
     b->retire_next = td.retire_head;
     td.retire_head = b;
-    ++td.retire_count;
+    td.retire_count.fetch_add(1, std::memory_order_relaxed);
     td.retires.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -145,7 +159,7 @@ class TrackerBase {
         b = next;
       }
       td.retire_head = nullptr;
-      td.retire_count = 0;
+      td.retire_count.store(0, std::memory_order_relaxed);
     }
   }
 
@@ -162,7 +176,7 @@ class TrackerBase {
         b->deleter(b);
         td.frees.fetch_add(1, std::memory_order_relaxed);
         td.reclaims.fetch_add(1, std::memory_order_relaxed);
-        --td.retire_count;
+        td.retire_count.fetch_sub(1, std::memory_order_relaxed);
       } else {
         link = &b->retire_next;
       }

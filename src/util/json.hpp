@@ -1,0 +1,166 @@
+#pragma once
+// Minimal streaming JSON writer shared by the benchmark binaries, so
+// every bench appends to the perf trajectory in one uniform format
+// (bench/bench_kv_throughput.cpp emits BENCH_kv.json; the figure
+// harness emits via WFE_BENCH_JSON).  Emission-only — no parsing, no
+// allocation beyond the output string.
+//
+// Usage:
+//   JsonWriter j;
+//   j.begin_object();
+//     j.key("bench").value("kv_throughput");
+//     j.key("results").begin_array();
+//       j.begin_object(); ... j.end_object();
+//     j.end_array();
+//   j.end_object();
+//   j.write_file("BENCH_kv.json");
+//
+// Commas are inserted automatically; nesting is tracked with a small
+// explicit stack, and misuse (value without key inside an object) is a
+// programming error the assertions catch in debug builds.
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wfe::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{', '}'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('[', ']'); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(const char* name) {
+    comma();
+    append_string(name);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const char* v) {
+    comma();
+    append_string(v);
+    return *this;
+  }
+  JsonWriter& value(const std::string& v) { return value(v.c_str()); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(double v) {
+    comma();
+    char buf[32];
+    // %.9g round-trips the precision benches care about; JSON has no
+    // NaN/Inf, map them to null.
+    if (v != v || v - v != 0.0) {
+      out_ += "null";
+    } else {
+      std::snprintf(buf, sizeof buf, "%.9g", v);
+      out_ += buf;
+    }
+    return *this;
+  }
+
+  /// key+value in one call, for flat result rows.
+  template <class T>
+  JsonWriter& kv(const char* name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  const std::string& str() const noexcept { return out_; }
+
+  bool write_file(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size() &&
+                    std::fputc('\n', f) != EOF;
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  JsonWriter& open(char c, char closer) {
+    comma();
+    out_ += c;
+    closers_.push_back(closer);
+    first_.push_back(true);
+    return *this;
+  }
+
+  JsonWriter& close(char closer) {
+    assert(!closers_.empty() && closers_.back() == closer);
+    if (closers_.empty()) return *this;  // tolerate misuse in release builds
+    (void)closer;
+    out_ += closers_.back();
+    closers_.pop_back();
+    first_.pop_back();
+    return *this;
+  }
+
+  /// Emits the separating comma before any element that is neither the
+  /// container's first nor a key's value.
+  void comma() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (first_.empty()) return;
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+
+  void append_string(const char* s) {
+    out_ += '"';
+    for (; *s != '\0'; ++s) {
+      const unsigned char c = static_cast<unsigned char>(*s);
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += static_cast<char>(c);
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::string closers_;       ///< stack of pending closing brackets
+  std::vector<char> first_;   ///< per-level "no element written yet" flag
+  bool pending_key_ = false;
+};
+
+}  // namespace wfe::util

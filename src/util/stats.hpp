@@ -1,13 +1,54 @@
 #pragma once
 // Small sample-statistics accumulator used by the bench harness
-// (per-repeat throughput, unreclaimed-object samples, latency percentiles).
+// (per-repeat throughput, unreclaimed-object samples, latency percentiles),
+// plus the per-thread counter the kv stats snapshots are built on.
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "util/cacheline.hpp"
+
 namespace wfe::util {
+
+/// Striped event counters: `Lanes` related counters packed into ONE
+/// padded slot per thread, summed per lane on demand by stats readers.
+/// The hot path is an uncontended relaxed increment on the thread's own
+/// cache-line pair, so op accounting never becomes the bottleneck it is
+/// measuring, and a thread's lanes (the kv shards count gets / puts /
+/// removes / updates) share a single line instead of one per counter.
+template <unsigned Lanes>
+class PerThreadCounters {
+  static_assert(Lanes >= 1 && Lanes * sizeof(std::atomic<std::uint64_t>) <=
+                                  kFalseSharingRange,
+                "lanes of one thread must fit its padded slot");
+
+ public:
+  explicit PerThreadCounters(unsigned threads)
+      : n_(threads), slots_(new Padded<Slot>[threads]) {}
+
+  void inc(unsigned lane, unsigned tid, std::uint64_t by = 1) noexcept {
+    slots_[tid].value.lane[lane].fetch_add(by, std::memory_order_relaxed);
+  }
+
+  std::uint64_t sum(unsigned lane) const noexcept {
+    std::uint64_t total = 0;
+    for (unsigned t = 0; t < n_; ++t)
+      total += slots_[t].value.lane[lane].load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> lane[Lanes]{};
+  };
+  unsigned n_;
+  std::unique_ptr<Padded<Slot>[]> slots_;
+};
 
 class Samples {
  public:
