@@ -20,7 +20,7 @@ void sweep(const char* label, const wfe::harness::Workload& w,
   for (std::uint64_t f : freqs) {
     reclaim::TrackerConfig cfg;
     cfg.max_threads = rc.threads;
-    cfg.max_hes = 2;
+    cfg.max_hes = 3;  // HmList::kSlotsNeeded
     cfg.era_freq = f;
     TR tracker(cfg);
     ds::HmList<std::uint64_t, std::uint64_t, TR> list(tracker);

@@ -33,7 +33,7 @@ int main() {
   auto run_one = [&](unsigned budget, bool force) {
     reclaim::TrackerConfig cfg;
     cfg.max_threads = rc.threads;
-    cfg.max_hes = 2;
+    cfg.max_hes = 3;  // HmList::kSlotsNeeded
     cfg.fast_path_attempts = budget;
     cfg.force_slow_path = force;
     core::WfeTracker tracker(cfg);

@@ -1,10 +1,13 @@
 // Sharded kv-store throughput sweep: threads x shard counts x read
-// ratios x reclamation schemes, emitting BENCH_kv.json for the perf
-// trajectory (util/json.hpp's shared row format).
+// ratios x upsert paths x multi-op batch widths x reclamation schemes,
+// emitting BENCH_kv.json for the perf trajectory (util/json.hpp's
+// shared row format).
 //
 // This is the ROADMAP's production-workload probe: unlike the figure
 // benches (one structure, one domain) it exercises per-shard
-// reclamation domains and batched retirement under mixed traffic.
+// reclamation domains, batched retirement, in-place value-cell upserts
+// against the remove+re-insert baseline, and cross-shard multi-op
+// sessions under mixed traffic.
 //
 // Environment knobs (shared names with the figure harness where the
 // meaning coincides):
@@ -16,13 +19,26 @@
 //   WFE_KV_SHARD_LIST      comma list of shard counts    (default "1,4,16")
 //   WFE_KV_READ_LIST       comma list of read percents   (default "50,90")
 //   WFE_KV_RETIRE_BATCH    per-thread retire burst size  (default 8)
+//   WFE_KV_UPSERT_LIST     comma list of upsert paths    (default "inplace,copy")
+//                          inplace = value-cell swap, copy = remove+insert
+//   WFE_KV_MBATCH_LIST     comma list of multi-op widths (default "1,16")
+//                          1 = single ops; >1 = multi_get/multi_put spans
+//                          (swept on the inplace path only)
 //   WFE_KV_JSON            output path                   (default BENCH_kv.json)
+//
+// The non-read half of the mix is ALWAYS an upsert over the full key
+// range, so at the default prefill (half the range) a write replaces a
+// present key about half the time: read_pct=50 is the "50%-update mix"
+// the in-place path must win on.
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/wfe.hpp"
@@ -61,13 +77,30 @@ std::vector<unsigned> env_list(const char* name, std::vector<unsigned> fallback)
   return out.empty() ? fallback : out;
 }
 
+/// True when `word` appears as a comma-separated token of env `name`
+/// (absent env means every word is on — the default sweep is full).
+bool env_has_word(const char* name, const char* word) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return true;
+  const std::size_t wlen = std::strlen(word);
+  for (const char* p = env; *p != '\0';) {
+    const char* end = p;
+    while (*end != '\0' && *end != ',') ++end;
+    if (static_cast<std::size_t>(end - p) == wlen && std::memcmp(p, word, wlen) == 0)
+      return true;
+    p = *end == ',' ? end + 1 : end;
+  }
+  return false;
+}
+
 struct Params {
   double seconds;
   unsigned repeats;
   std::uint64_t prefill;
   std::uint64_t key_range;
   unsigned retire_batch;
-  std::vector<unsigned> threads, shards, read_pcts;
+  bool inplace, copy;  // upsert paths to sweep
+  std::vector<unsigned> threads, shards, read_pcts, mbatch;
 };
 
 /// Every scheme in the repo: the paper's comparison set plus the
@@ -85,81 +118,124 @@ void for_each_kv_tracker(Fn&& fn) {
 }
 
 template <class TR>
-void run_tracker(const Params& pp, util::JsonWriter& j) {
+void run_one(const Params& pp, util::JsonWriter& j, unsigned nshards,
+             unsigned read_pct, unsigned nthreads, bool inplace,
+             unsigned mbatch) {
   using Store = kv::KvStore<std::uint64_t, std::uint64_t, TR>;
+  kv::KvConfig cfg;
+  cfg.shards = nshards;
+  // Hold total bucket count roughly constant across shard counts
+  // so the sweep isolates domain partitioning, not table size.
+  cfg.buckets_per_shard = std::max<std::size_t>(64, 4096 / std::max(1u, nshards));
+  cfg.tracker.max_threads = nthreads;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  cfg.tracker.retire_batch = pp.retire_batch;
+  Store store(cfg);
+  // Report the effective (power-of-two-rounded) shard count, not
+  // the requested one.
+  const std::size_t eff_shards = store.shard_count();
+
+  // Prefill cannot exceed the number of distinct keys; clamp so a
+  // figure-harness WFE_BENCH_PREFILL carried over in the
+  // environment can't spin this loop forever.
+  const std::uint64_t prefill = std::min(pp.prefill, pp.key_range);
+  util::Xoshiro256 seed_rng(42);
+  std::uint64_t inserted = 0;
+  while (inserted < prefill)
+    inserted +=
+        store.insert(seed_rng.next_bounded(pp.key_range) + 1, inserted, 0) ? 1 : 0;
+
+  harness::RunConfig rc;
+  rc.threads = nthreads;
+  rc.seconds = pp.seconds;
+  rc.repeats = pp.repeats;
+  harness::RunResult r = harness::run_timed(
+      rc,
+      [&](util::Xoshiro256& rng, unsigned tid) {
+        if (mbatch <= 1) {
+          const std::uint64_t k = rng.next_bounded(pp.key_range) + 1;
+          if (rng.percent(read_pct)) {
+            store.get(k, tid);
+          } else if (inplace) {
+            store.put(k, k, tid);
+          } else {
+            store.put_copy(k, k, tid);
+          }
+          return;
+        }
+        // Multi-op mode: one harness "op" is a whole span of mbatch
+        // keys routed through the cross-shard batching API (mops is
+        // rescaled below).
+        static thread_local std::vector<std::uint64_t> kbuf;
+        static thread_local std::vector<std::optional<std::uint64_t>> obuf;
+        static thread_local std::vector<std::pair<std::uint64_t, std::uint64_t>> pbuf;
+        if (rng.percent(read_pct)) {
+          kbuf.resize(mbatch);
+          obuf.resize(mbatch);
+          for (unsigned i = 0; i < mbatch; ++i)
+            kbuf[i] = rng.next_bounded(pp.key_range) + 1;
+          store.multi_get(kbuf.data(), mbatch, obuf.data(), tid);
+        } else {
+          pbuf.resize(mbatch);
+          for (unsigned i = 0; i < mbatch; ++i) {
+            const std::uint64_t k = rng.next_bounded(pp.key_range) + 1;
+            pbuf[i] = {k, k};
+          }
+          store.multi_put(pbuf.data(), mbatch, tid);
+        }
+      },
+      [&] {
+        std::uint64_t u = 0;
+        const kv::KvStats st = store.stats();
+        for (const auto& s : st.shards) u += s.unreclaimed + s.pending_retired;
+        return u;
+      });
+
+  // run_timed counts lambda calls; one call covers mbatch key-ops.
+  const double mops = r.mops * mbatch;
+  const double mops_stddev = r.mops_stddev * mbatch;
+
+  const kv::ShardStats tot = store.stats().total();
+  std::printf(
+      "%-8s shards=%-3zu read=%u%% threads=%-3u upsert=%-7s mbatch=%-3u "
+      "%8.3f Mops/s  unreclaimed(avg)=%.0f cell_retires=%llu slow_path=%llu\n",
+      TR::name(), eff_shards, read_pct, nthreads, inplace ? "inplace" : "copy",
+      mbatch, mops, r.avg_unreclaimed,
+      static_cast<unsigned long long>(tot.value_cell_retires),
+      static_cast<unsigned long long>(tot.slow_path_entries));
+
+  j.begin_object();
+  j.kv("tracker", TR::name());
+  j.kv("shards", static_cast<std::uint64_t>(eff_shards));
+  j.kv("read_pct", read_pct);
+  j.kv("threads", nthreads);
+  j.kv("retire_batch", pp.retire_batch);
+  j.kv("upsert", inplace ? "inplace" : "copy");
+  j.kv("mbatch", mbatch);
+  j.kv("mops", mops);
+  j.kv("mops_stddev", mops_stddev);
+  j.kv("avg_unreclaimed", r.avg_unreclaimed);
+  j.kv("ops", tot.ops());
+  j.kv("retired", tot.retired);
+  j.kv("batch_flushes", tot.batch_flushes);
+  j.kv("slow_path_entries", tot.slow_path_entries);
+  j.kv("value_cell_retires", tot.value_cell_retires);
+  j.kv("batched_ops", tot.batched_ops);
+  j.end_object();
+}
+
+template <class TR>
+void run_tracker(const Params& pp, util::JsonWriter& j) {
   for (unsigned nshards : pp.shards) {
     for (unsigned read_pct : pp.read_pcts) {
       for (unsigned nthreads : pp.threads) {
-        kv::KvConfig cfg;
-        cfg.shards = nshards;
-        // Hold total bucket count roughly constant across shard counts
-        // so the sweep isolates domain partitioning, not table size.
-        cfg.buckets_per_shard =
-            std::max<std::size_t>(64, 4096 / std::max(1u, nshards));
-        cfg.tracker.max_threads = nthreads;
-        cfg.tracker.max_hes = Store::kSlotsNeeded;
-        cfg.tracker.retire_batch = pp.retire_batch;
-        Store store(cfg);
-        // Report the effective (power-of-two-rounded) shard count, not
-        // the requested one.
-        const std::size_t eff_shards = store.shard_count();
-
-        // Prefill cannot exceed the number of distinct keys; clamp so a
-        // figure-harness WFE_BENCH_PREFILL carried over in the
-        // environment can't spin this loop forever.
-        const std::uint64_t prefill = std::min(pp.prefill, pp.key_range);
-        util::Xoshiro256 seed_rng(42);
-        std::uint64_t inserted = 0;
-        while (inserted < prefill)
-          inserted += store.insert(seed_rng.next_bounded(pp.key_range) + 1,
-                                   inserted, 0)
-                          ? 1
-                          : 0;
-
-        harness::RunConfig rc;
-        rc.threads = nthreads;
-        rc.seconds = pp.seconds;
-        rc.repeats = pp.repeats;
-        harness::RunResult r = harness::run_timed(
-            rc,
-            [&](util::Xoshiro256& rng, unsigned tid) {
-              const std::uint64_t k = rng.next_bounded(pp.key_range) + 1;
-              if (rng.percent(read_pct)) {
-                store.get(k, tid);
-              } else {
-                store.put(k, k, tid);
-              }
-            },
-            [&] {
-              std::uint64_t u = 0;
-              const kv::KvStats st = store.stats();
-              for (const auto& s : st.shards)
-                u += s.unreclaimed + s.pending_retired;
-              return u;
-            });
-
-        const kv::ShardStats tot = store.stats().total();
-        std::printf(
-            "%-8s shards=%-3zu read=%u%% threads=%-3u  %8.3f Mops/s  "
-            "unreclaimed(avg)=%.0f slow_path=%llu\n",
-            TR::name(), eff_shards, read_pct, nthreads, r.mops,
-            r.avg_unreclaimed,
-            static_cast<unsigned long long>(tot.slow_path_entries));
-
-        j.begin_object();
-        j.kv("tracker", TR::name());
-        j.kv("shards", static_cast<std::uint64_t>(eff_shards));
-        j.kv("read_pct", read_pct);
-        j.kv("threads", nthreads);
-        j.kv("retire_batch", pp.retire_batch);
-        j.kv("mops", r.mops);
-        j.kv("mops_stddev", r.mops_stddev);
-        j.kv("avg_unreclaimed", r.avg_unreclaimed);
-        j.kv("ops", tot.ops());
-        j.kv("retired", tot.retired);
-        j.kv("batch_flushes", tot.batch_flushes);
-        j.kv("slow_path_entries", tot.slow_path_entries);
-        j.end_object();
+        // Upsert-path sweep runs unbatched; the multi-op width sweep
+        // runs on the in-place path (multi_put is in-place by design).
+        if (pp.inplace)
+          for (unsigned mb : pp.mbatch)
+            run_one<TR>(pp, j, nshards, read_pct, nthreads, true, mb);
+        if (pp.copy)
+          run_one<TR>(pp, j, nshards, read_pct, nthreads, false, 1);
       }
     }
   }
@@ -180,10 +256,14 @@ int main() {
   pp.threads = env_list("WFE_BENCH_THREAD_LIST", {1, 2, 4, 8});
   pp.shards = env_list("WFE_KV_SHARD_LIST", {1, 4, 16});
   pp.read_pcts = env_list("WFE_KV_READ_LIST", {50, 90});
+  pp.mbatch = env_list("WFE_KV_MBATCH_LIST", {1, 16});
+  pp.inplace = env_has_word("WFE_KV_UPSERT_LIST", "inplace");
+  pp.copy = env_has_word("WFE_KV_UPSERT_LIST", "copy");
   const char* out_path = std::getenv("WFE_KV_JSON");
   if (out_path == nullptr) out_path = "BENCH_kv.json";
 
-  std::printf("=== kv throughput — shards x read-ratio x threads ===\n");
+  std::printf(
+      "=== kv throughput — shards x read-ratio x threads x upsert x mbatch ===\n");
   std::printf("prefill=%llu key_range=%llu seconds=%.2f repeats=%u batch=%u\n",
               static_cast<unsigned long long>(pp.prefill),
               static_cast<unsigned long long>(pp.key_range), pp.seconds,

@@ -25,7 +25,7 @@ void stall_run(double seconds, unsigned churners) {
   using namespace wfe;
   reclaim::TrackerConfig cfg;
   cfg.max_threads = churners + 1;
-  cfg.max_hes = 2;
+  cfg.max_hes = 3;  // HmList::kSlotsNeeded
   TR tracker(cfg);
   ds::HmList<std::uint64_t, std::uint64_t, TR> list(tracker);
   constexpr std::uint64_t kRange = 4096;

@@ -17,7 +17,8 @@ using Val = std::uint64_t;
 
 struct ListFactory {
   static constexpr bool kIsQueue = false;
-  static constexpr unsigned kSlots = 2;
+  // HmList::kSlotsNeeded: prev + cur + value cell.
+  static constexpr unsigned kSlots = 3;
   template <class TR>
   auto operator()(TR& trk) const {
     return std::make_unique<ds::HmList<Key, Val, TR>>(trk);
@@ -26,7 +27,7 @@ struct ListFactory {
 
 struct HashMapFactory {
   static constexpr bool kIsQueue = false;
-  static constexpr unsigned kSlots = 2;
+  static constexpr unsigned kSlots = 3;
   template <class TR>
   auto operator()(TR& trk) const {
     return std::make_unique<ds::HashMap<Key, Val, TR>>(trk);

@@ -26,7 +26,7 @@ void run() {
   using namespace wfe;
   reclaim::TrackerConfig cfg;
   cfg.max_threads = 4;
-  cfg.max_hes = 2;
+  cfg.max_hes = 3;  // HmList::kSlotsNeeded (prev + cur + value cell)
   TR tracker(cfg);
   {
     // Identical structure code for every scheme:

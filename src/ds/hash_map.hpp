@@ -56,8 +56,13 @@ class BucketArray {
   bool insert(const K& key, const V& value, unsigned tid) {
     return bucket(key).insert(key, value, tid);
   }
+  /// Insert-or-replace, in place (atomic value-cell swap on present keys).
   bool put(const K& key, const V& value, unsigned tid) {
     return bucket(key).put(key, value, tid);
+  }
+  /// Legacy remove+re-insert upsert (node churn baseline; see HmList).
+  bool put_copy(const K& key, const V& value, unsigned tid) {
+    return bucket(key).put_copy(key, value, tid);
   }
   bool update(const K& key, const V& value, unsigned tid) {
     return bucket(key).update(key, value, tid);
@@ -70,6 +75,16 @@ class BucketArray {
   }
   bool contains(const K& key, unsigned tid) {
     return bucket(key).contains(key, tid);
+  }
+
+  // ---- unbracketed variants: caller holds one begin_op/end_op bracket
+  // on the shared tracker around a batch of calls (kv multi-ops).  All
+  // buckets share that tracker, so one session covers any key mix. ----
+  std::optional<V> get_in_op(const K& key, unsigned tid) {
+    return bucket(key).get_in_op(key, tid);
+  }
+  bool put_in_op(const K& key, const V& value, unsigned tid) {
+    return bucket(key).put_in_op(key, value, tid);
   }
 
   std::size_t bucket_count() const noexcept { return mask_ + 1; }

@@ -1,6 +1,7 @@
 #pragma once
 // Harris-Michael sorted linked list [18, 27] — the paper's list workload
-// (Figs. 6 and 9).
+// (Figs. 6 and 9) — extended with tracker-reclaimed *value cells* so
+// upserts mutate in place instead of replacing whole nodes.
 //
 // Harris's logical-deletion mark lives in the low bit of each node's
 // `next` word; Michael's modification (required for HP-compatible
@@ -8,17 +9,49 @@
 // the traversal instead of walking marked chains, so every dereferenced
 // node is protected while provably in-list.
 //
-// Protection discipline (2 rotating slots, Michael 2004 Fig. 9):
-//   * the current node is protected by protect_word() on the *in-list*
-//     link that names it — for HP this is publish+validate, for era
-//     schemes an era reservation, for WFE the wait-free fast/slow path;
-//   * when the traversal advances, the slot roles swap so the previous
-//     node stays continuously protected;
-//   * a marked link under the previous node, or a failed unlink CAS,
-//     restarts from the head.
+// Value cells: the value is not stored inline in the node but in a
+// separately heap-allocated, tracker-managed ValueCell the node points
+// to.  put()/update() on a present key CAS-swap the cell pointer and
+// retire only the displaced cell — no node unlink, no re-insert, no
+// momentary absence, and the retire traffic of an update-heavy workload
+// shrinks from a full node (key + two links) to one small cell.
 //
-// WFE's extra `parent` argument (paper §3.4) is the node containing the
-// link being read — nullptr at the head root.
+// Deletion protocol with cells (the *value-cell reclamation invariant*:
+// a cell is retired only by the thread that atomically unlinked its
+// pointer — via a cell CAS or the delete mark — so each cell is retired
+// exactly once, and always after it became unreachable from the node):
+//   1. remove() linearizes by fetch_or-ing the MARK bit into the CELL
+//      word.  The winner owns the displaced cell: it reads the return
+//      value out of it and retires it.  The mark is never cleared, so a
+//      marked cell word is a tombstone: readers treat the key as absent,
+//      updaters' CAS (which expects an unmarked word) can never succeed
+//      against it.
+//   2. Only then is the node's `next` marked (Harris's logical delete)
+//      and the node unlinked/retired exactly as before.  A cell-marked
+//      node therefore always becomes next-marked; the ordering
+//      cell-mark -> next-mark is relied on below (next-marked implies
+//      cell-marked implies cell already retired, so unlinkers retire the
+//      node alone).
+//   3. insert()/put() finding a cell-marked node help by marking `next`
+//      (finish_remove) and retry — the key is logically absent, and the
+//      node must leave the list before the key can be re-inserted, which
+//      keeps "at most one next-unmarked node per key" intact.
+//
+// Protection discipline (3 slots): find() rotates slots 0/1 over
+// prev/cur exactly as in Michael 2004 Fig. 9; slot 2 (kCellSlot)
+// protects the value cell while a reader dereferences it.  The cell is
+// protected via protect_word() on the *cell word inside the protected
+// node* — for HP this is publish+validate against the live word, for era
+// schemes an era reservation covering the cell's lifespan, and for WFE
+// the node itself is the `parent` (paper §3.4) so helpers can pin it.
+// Writers never protect the cell they displace: a successful CAS (or the
+// winning fetch_or) transfers ownership atomically, and only the owner
+// dereferences or retires it.
+//
+// The *_in_op variants run without the begin_op/end_op bracket so a
+// caller can batch several operations into one tracker session (the kv
+// store's cross-shard multi_get/multi_put); the bracketed entry points
+// below are single-op conveniences over them.
 
 #include <atomic>
 #include <cstdint>
@@ -33,19 +66,23 @@ namespace wfe::ds {
 template <class K, class V, reclaim::tracker_for Tracker>
 class HmList {
  public:
-  /// Reservation slots used per thread (prev + cur).
-  static constexpr unsigned kSlotsNeeded = 2;
+  /// Reservation slots used per thread (prev + cur + value cell).
+  static constexpr unsigned kSlotsNeeded = 3;
 
   explicit HmList(Tracker& tracker) : tracker_(tracker) {}
 
   HmList(const HmList&) = delete;
   HmList& operator=(const HmList&) = delete;
 
-  /// Quiescent teardown.
+  /// Quiescent teardown.  A marked cell word names a cell that its
+  /// remover already retired (invariant step 1); unmarked cells are
+  /// still owned by their node and freed here.
   ~HmList() {
     auto w = head_.load(std::memory_order_relaxed);
     while (util::strip(w) != 0) {
       Node* n = util::unpack_ptr<Node>(w);
+      const std::uintptr_t cw = n->cell.load(std::memory_order_relaxed);
+      if (!util::is_marked(cw)) tracker_.dealloc(util::unpack_ptr<ValueCell>(cw), 0);
       w = n->next.load(std::memory_order_relaxed);
       tracker_.dealloc(n, 0);
     }
@@ -59,14 +96,24 @@ class HmList {
     return ok;
   }
 
-  /// Insert-or-replace ("put" in the paper's key-value interface):
-  /// node values are immutable, so replacing a key allocates a fresh
-  /// node and retires the old one — the reclamation traffic the paper's
-  /// read-mostly experiments (Figs. 9-11) measure.  Returns true when
-  /// the key was absent.  Not an atomic replace: a concurrent reader can
-  /// observe the key momentarily absent between unlink and re-insert
-  /// (benchmark-standard upsert semantics).
+  /// Insert-or-replace ("put" in the paper's key-value interface).  A
+  /// present key is updated IN PLACE: the fresh value cell is CAS-swapped
+  /// into the node and the displaced cell retired — an atomic replace
+  /// (no reader ever observes the key absent), retiring one cell instead
+  /// of a node.  Returns true when the key was absent.
   bool put(const K& key, const V& value, unsigned tid) {
+    tracker_.begin_op(tid);
+    const bool was_absent = put_impl(key, value, tid);
+    tracker_.end_op(tid);
+    return was_absent;
+  }
+
+  /// The pre-value-cell upsert (remove + re-insert, replacing the whole
+  /// node): kept as the baseline the kv bench compares the in-place path
+  /// against, and as the semantics the figure benches historically
+  /// measured.  Not an atomic replace — a concurrent reader can observe
+  /// the key momentarily absent between unlink and re-insert.
+  bool put_copy(const K& key, const V& value, unsigned tid) {
     tracker_.begin_op(tid);
     bool was_absent = true;
     while (!insert_impl(key, value, tid)) {
@@ -77,19 +124,11 @@ class HmList {
     return was_absent;
   }
 
-  /// Replace the value of an existing key; fails (without inserting) if
-  /// the key is absent.  Like put(), not an atomic replace: node values
-  /// are immutable, so the old node is unlinked and a fresh one inserted,
-  /// and a concurrent reader can observe the key momentarily absent.
+  /// Replace-if-present, in place (cell CAS; atomic replace); fails
+  /// (without inserting or writing) when the key is absent.
   bool update(const K& key, const V& value, unsigned tid) {
     tracker_.begin_op(tid);
-    bool updated = false;
-    // Linearizes at the successful remove: only a thread that actually
-    // unlinked the old node re-inserts, so an absent key stays absent.
-    if (remove_impl(key, tid).has_value()) {
-      while (!insert_impl(key, value, tid)) remove_impl(key, tid);
-      updated = true;
-    }
+    const bool updated = update_impl(key, value, tid);
     tracker_.end_op(tid);
     return updated;
   }
@@ -105,44 +144,71 @@ class HmList {
   /// Point lookup.
   std::optional<V> get(const K& key, unsigned tid) {
     tracker_.begin_op(tid);
-    std::optional<V> out;
-    Position pos = find(key, tid);
-    if (pos.found) out = pos.cur->value;
+    std::optional<V> out = get_impl(key, tid);
     tracker_.end_op(tid);
     return out;
   }
 
   bool contains(const K& key, unsigned tid) { return get(key, tid).has_value(); }
 
-  /// Quiescent iteration over unmarked (key, value) pairs in key order.
+  // ---- unbracketed variants: the caller holds the tracker's
+  // begin_op/end_op bracket around a batch of calls (kv multi-ops).
+  // Safe for every scheme: EBR/QSBR reservations taken at begin_op stay
+  // published (a longer pin, strictly conservative), pointer/era slots
+  // are re-published per call anyway. ----
+  std::optional<V> get_in_op(const K& key, unsigned tid) {
+    return get_impl(key, tid);
+  }
+  bool put_in_op(const K& key, const V& value, unsigned tid) {
+    return put_impl(key, value, tid);
+  }
+
+  /// Quiescent iteration over present (key, value) pairs in key order.
   /// Like size_unsafe(): a snapshot helper, not linearizable.
   template <class Fn>
   void for_each_unsafe(Fn&& fn) const {
     for (auto w = head_.load(std::memory_order_acquire); util::strip(w) != 0;) {
       const Node* node = util::unpack_ptr<Node>(w);
       const auto next = node->next.load(std::memory_order_acquire);
-      if (!util::is_marked(next)) fn(node->key, node->value);
+      const auto cw = node->cell.load(std::memory_order_acquire);
+      if (!util::is_marked(next) && !util::is_marked(cw))
+        fn(node->key, util::unpack_ptr<ValueCell>(cw)->value);
       w = next;
     }
   }
 
   /// Quiescent size (test helper; not linearizable under concurrency).
+  /// A cell-marked node is logically deleted even before its next is
+  /// marked, so presence is judged on the cell word.
   std::size_t size_unsafe() const noexcept {
     std::size_t n = 0;
     for (auto w = head_.load(std::memory_order_acquire); util::strip(w) != 0;) {
       const Node* node = util::unpack_ptr<Node>(w);
       const auto next = node->next.load(std::memory_order_acquire);
-      if (!util::is_marked(next)) ++n;
+      const auto cw = node->cell.load(std::memory_order_acquire);
+      if (!util::is_marked(next) && !util::is_marked(cw)) ++n;
       w = next;
     }
     return n;
   }
 
  private:
+  static constexpr unsigned kCellSlot = 2;
+
+  /// The separately reclaimed value: immutable once published, replaced
+  /// wholesale by the cell-pointer CAS in put_impl/update_impl.
+  struct ValueCell : reclaim::Block {
+    explicit ValueCell(const V& v) : value(v) {}
+    const V value;
+  };
+
   struct Node : reclaim::Block {
-    Node(const K& k, const V& v) : key(k), value(v) {}
+    explicit Node(const K& k) : key(k) {}
     const K key;
-    const V value;  // immutable: updates replace the node (see put())
+    /// ValueCell* | mark.  Marked = key logically deleted (tombstone;
+    /// remove()'s linearization point).  Unmarked cell pointers are only
+    /// ever changed by CAS, marked words never change again.
+    std::atomic<std::uintptr_t> cell{0};
     std::atomic<std::uintptr_t> next{0};
   };
 
@@ -156,7 +222,9 @@ class HmList {
   };
 
   /// Michael's find(): on return, cur (if non-null) is protected and was
-  /// observed unmarked and in-list; prev_link is the link that named it.
+  /// observed next-unmarked and in-list; prev_link is the link that named
+  /// it.  `found` does NOT consult the cell word — callers decide how to
+  /// treat a cell-marked (logically deleted, not yet unlinked) node.
   Position find(const K& key, unsigned tid) {
   retry:
     std::atomic<std::uintptr_t>* prev_link = &head_;
@@ -171,7 +239,10 @@ class HmList {
         return {prev_link, prev_node, nullptr, nullptr, false, cur_slot};
       const std::uintptr_t next_w = cur->next.load(std::memory_order_acquire);
       if (util::is_marked(next_w)) {
-        // cur is logically deleted: unlink it before proceeding.
+        // cur is logically deleted: unlink it before proceeding.  Its
+        // cell was retired by the remover that marked the cell word
+        // (next-marked implies cell-marked), so only the node is retired
+        // here — exactly one thread wins this CAS.
         std::uintptr_t expected = util::pack_ptr(cur);
         if (!prev_link->compare_exchange_strong(expected, util::strip(next_w),
                                                 std::memory_order_acq_rel,
@@ -191,15 +262,45 @@ class HmList {
     }
   }
 
+  /// Helps a cell-marked node out of the list: marks `next` so the next
+  /// traversal unlinks it.  Unlike the cell mark, this mark elects no
+  /// winner (the cell fetch_or already did), so it is an idempotent
+  /// fetch_or too — it atomically freezes whatever `next` holds, and no
+  /// CAS ever succeeds against a marked word afterwards.
+  void finish_remove(Node* node) noexcept {
+    node->next.fetch_or(util::kMarkBit, std::memory_order_acq_rel);
+  }
+
+  std::optional<V> get_impl(const K& key, unsigned tid) {
+    Position pos = find(key, tid);
+    if (!pos.found) return std::nullopt;
+    // Protect the cell before dereferencing: a concurrent upsert may
+    // CAS it out and retire it at any moment.  The node (parent) is
+    // already protected by find()'s slot.
+    const std::uintptr_t cw =
+        tracker_.protect_word(pos.cur->cell, kCellSlot, tid, pos.cur);
+    if (util::is_marked(cw)) return std::nullopt;  // tombstone: deleted
+    return util::unpack_ptr<ValueCell>(cw)->value;
+  }
+
   bool insert_impl(const K& key, const V& value, unsigned tid) {
     Node* node = nullptr;
+    ValueCell* cell = nullptr;
     for (;;) {
       Position pos = find(key, tid);
       if (pos.found) {
-        if (node != nullptr) tracker_.dealloc(node, tid);  // never published
+        if (util::is_marked(pos.cur->cell.load(std::memory_order_acquire))) {
+          // Logically deleted: help it leave, then the key is insertable.
+          finish_remove(pos.cur);
+          continue;
+        }
+        if (cell != nullptr) tracker_.dealloc(cell, tid);  // never published
+        if (node != nullptr) tracker_.dealloc(node, tid);
         return false;
       }
-      if (node == nullptr) node = tracker_.template alloc<Node>(tid, key, value);
+      if (cell == nullptr) cell = tracker_.template alloc<ValueCell>(tid, value);
+      if (node == nullptr) node = tracker_.template alloc<Node>(tid, key);
+      node->cell.store(util::pack_ptr(cell), std::memory_order_relaxed);
       node->next.store(util::pack_ptr(pos.cur), std::memory_order_relaxed);
       std::uintptr_t expected = util::pack_ptr(pos.cur);
       if (pos.prev_link->compare_exchange_strong(expected, util::pack_ptr(node),
@@ -210,23 +311,90 @@ class HmList {
     }
   }
 
+  /// Insert-or-replace.  The fresh cell is allocated once and is always
+  /// published, either via the node-insert CAS or the cell-swap CAS.
+  bool put_impl(const K& key, const V& value, unsigned tid) {
+    ValueCell* cell = tracker_.template alloc<ValueCell>(tid, value);
+    Node* node = nullptr;
+    for (;;) {
+      Position pos = find(key, tid);
+      if (pos.found) {
+        std::uintptr_t cw = pos.cur->cell.load(std::memory_order_acquire);
+        for (;;) {
+          if (util::is_marked(cw)) break;  // deleted under us: re-insert
+          if (pos.cur->cell.compare_exchange_strong(cw, util::pack_ptr(cell),
+                                                    std::memory_order_acq_rel,
+                                                    std::memory_order_acquire)) {
+            // We unlinked the old cell; we retire it (the invariant).
+            tracker_.retire(util::unpack_ptr<ValueCell>(cw), tid);
+            if (node != nullptr) tracker_.dealloc(node, tid);
+            return false;
+          }
+          // CAS reloaded cw: a racing upsert or a tombstone — loop.
+        }
+        finish_remove(pos.cur);
+        continue;
+      }
+      if (node == nullptr) node = tracker_.template alloc<Node>(tid, key);
+      node->cell.store(util::pack_ptr(cell), std::memory_order_relaxed);
+      node->next.store(util::pack_ptr(pos.cur), std::memory_order_relaxed);
+      std::uintptr_t expected = util::pack_ptr(pos.cur);
+      if (pos.prev_link->compare_exchange_strong(expected, util::pack_ptr(node),
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  bool update_impl(const K& key, const V& value, unsigned tid) {
+    ValueCell* cell = tracker_.template alloc<ValueCell>(tid, value);
+    for (;;) {
+      Position pos = find(key, tid);
+      if (!pos.found) {
+        tracker_.dealloc(cell, tid);  // never published
+        return false;
+      }
+      std::uintptr_t cw = pos.cur->cell.load(std::memory_order_acquire);
+      for (;;) {
+        if (util::is_marked(cw)) {
+          // Tombstone: the key was absent when we observed the mark.
+          finish_remove(pos.cur);
+          tracker_.dealloc(cell, tid);
+          return false;
+        }
+        if (pos.cur->cell.compare_exchange_strong(cw, util::pack_ptr(cell),
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_acquire)) {
+          tracker_.retire(util::unpack_ptr<ValueCell>(cw), tid);
+          return true;
+        }
+      }
+    }
+  }
+
   std::optional<V> remove_impl(const K& key, unsigned tid) {
     for (;;) {
       Position pos = find(key, tid);
       if (!pos.found) return std::nullopt;
-      const std::uintptr_t next_w = pos.cur->next.load(std::memory_order_acquire);
-      if (util::is_marked(next_w)) continue;  // someone else is deleting it
-      // Logical deletion: mark cur's next link.
-      std::uintptr_t expected = next_w;
-      if (!pos.cur->next.compare_exchange_strong(
-              expected, next_w | util::kMarkBit, std::memory_order_acq_rel,
-              std::memory_order_relaxed)) {
-        continue;
+      // Linearization: claim the key by marking the cell word.  The
+      // winner owns the displaced cell (no CAS can succeed against a
+      // marked word), so reading and retiring it needs no extra
+      // protection.  Losing means another remove linearized first.
+      const std::uintptr_t cw =
+          pos.cur->cell.fetch_or(util::kMarkBit, std::memory_order_acq_rel);
+      if (util::is_marked(cw)) {
+        finish_remove(pos.cur);  // help the winner's physical deletion
+        return std::nullopt;
       }
-      const V out = pos.cur->value;
-      // Physical unlink; on failure a later traversal cleans up (and
-      // retires the node — exactly one thread wins that CAS).
-      expected = util::pack_ptr(pos.cur);
+      ValueCell* old_cell = util::unpack_ptr<ValueCell>(cw);
+      const V out = old_cell->value;
+      tracker_.retire(old_cell, tid);
+      // Physical deletion, unchanged from Harris-Michael: mark next
+      // (helpers may have done it already), then unlink.
+      finish_remove(pos.cur);
+      const std::uintptr_t next_w = pos.cur->next.load(std::memory_order_acquire);
+      std::uintptr_t expected = util::pack_ptr(pos.cur);
       if (pos.prev_link->compare_exchange_strong(
               expected, util::strip(next_w), std::memory_order_acq_rel,
               std::memory_order_relaxed)) {

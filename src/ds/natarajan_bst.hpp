@@ -79,6 +79,26 @@ class NatarajanBst {
   /// traffic of the paper's Figs. 9-11).  Returns true when the key was
   /// absent; momentary absence is visible to concurrent readers
   /// (benchmark-standard upsert semantics).
+  ///
+  /// WHY THIS TREE KEEPS remove+insert WHILE HmList GAINED IN-PLACE
+  /// VALUE CELLS (see hm_list.hpp): the list could adopt a leaf-local
+  /// cell swap because its deletion mark already lives IN the node being
+  /// deleted, so remove's linearization point could move onto the cell
+  /// word itself (the tombstone fetch_or), making "cell CAS succeeded"
+  /// and "key still present" the same atomic event.  In this external
+  /// BST, remove() linearizes at the FLAG CAS on the parent→leaf EDGE —
+  /// state the leaf cannot see.  A leaf-local cell CAS can therefore
+  /// succeed after the flag has landed, yielding a lost update that no
+  /// linearization order can absorb (a reader that already observed the
+  /// key absent precedes the "successful" update in real time).  Fixing
+  /// that means moving the delete mark into the leaf: readers would
+  /// have to consult a leaf tombstone, insert() would have to help
+  /// physically splice tombstoned leaves before re-inserting, and the
+  /// two-phase injection/cleanup helping protocol (Algorithms 2/5)
+  /// would need re-proving around the new linearization point.  That is
+  /// a redesign of the Natarajan-Mittal protocol, not a local patch, so
+  /// the tree intentionally stays on whole-leaf replacement; the kv
+  /// engine's update-heavy paths are served by the hash map.
   bool put(const K& key, const V& value, unsigned tid) {
     tracker_.begin_op(tid);
     bool was_absent = true;

@@ -50,6 +50,13 @@ void kv_op(S& s, const Workload& w, util::Xoshiro256& rng, unsigned tid) {
     case OpMix::kRead9010:
       if (rng.percent(90)) {
         s.get(key, tid);
+      } else if constexpr (requires { s.put_copy(key, key, tid); }) {
+        // The paper's read-mostly figures (9-11) measure remove+insert
+        // upserts; structures that grew an in-place path keep exposing
+        // the original semantics as put_copy — use it so figure rows
+        // stay comparable across PRs (and to the BST, which has no
+        // in-place path).
+        s.put_copy(key, key, tid);
       } else {
         s.put(key, key, tid);
       }

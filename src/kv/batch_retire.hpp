@@ -120,6 +120,11 @@ class BatchedTracker {
       n += pending_[t].count.load(std::memory_order_relaxed);
     return n;
   }
+  /// One thread's share of the buffer (tests; the partial batch a thread
+  /// must flush before exiting).
+  std::uint64_t pending_count(unsigned tid) const noexcept {
+    return pending_[tid].count.load(std::memory_order_relaxed);
+  }
   /// Total blocks that ever passed through the buffer.
   std::uint64_t batched_retires() const noexcept {
     return batched_.load(std::memory_order_relaxed);

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "ds/hash_map.hpp"
@@ -58,9 +59,15 @@ class KvStore {
   bool contains(const K& key, unsigned tid) {
     return shard(key).contains(key, tid);
   }
-  /// Insert-or-replace; true when the key was absent.
+  /// Insert-or-replace, in place (atomic value-cell swap on present
+  /// keys); true when the key was absent.
   bool put(const K& key, const V& value, unsigned tid) {
     return shard(key).put(key, value, tid);
+  }
+  /// Remove+re-insert upsert: the pre-value-cell baseline, kept so the
+  /// bench can put a number on what in-place replacement saves.
+  bool put_copy(const K& key, const V& value, unsigned tid) {
+    return shard(key).put_copy(key, value, tid);
   }
   /// Insert-if-absent; false (no write) when present.
   bool insert(const K& key, const V& value, unsigned tid) {
@@ -72,6 +79,57 @@ class KvStore {
   }
   std::optional<V> remove(const K& key, unsigned tid) {
     return shard(key).remove(key, tid);
+  }
+
+  // ---- cross-shard multi-ops: group a span of keys by shard with one
+  // counting sort, then execute each shard's group in a single tracker
+  // session (one begin_op/end_op, reservation publishing amortized over
+  // the group; retires ride the shard's BatchedTracker bursts as usual).
+  // Results land at the positions of their keys, so callers see plain
+  // positional semantics.  This is the API a future async front-end
+  // issues pipelined request batches through. ----
+
+  /// Point lookups for keys[0..n); out[i] receives the result for
+  /// keys[i].  Keys may repeat and may hit any mix of shards.
+  void multi_get(const K* keys, std::size_t n, std::optional<V>* out,
+                 unsigned tid) {
+    if (n == 0) return;
+    static thread_local ShardPlan plan;  // scratch: reused across calls
+    group_by_shard(plan, n, [&](std::size_t i) { return shard_index(keys[i]); });
+    for (std::size_t s = 0; s <= shard_mask_; ++s) {
+      const std::size_t b = s == 0 ? 0 : plan.start[s - 1], e = plan.start[s];
+      if (b != e) shards_[s]->multi_get(keys, plan.order.data() + b, e - b, out, tid);
+    }
+  }
+
+  std::vector<std::optional<V>> multi_get(const std::vector<K>& keys,
+                                          unsigned tid) {
+    std::vector<std::optional<V>> out(keys.size());
+    multi_get(keys.data(), keys.size(), out.data(), tid);
+    return out;
+  }
+
+  /// In-place upserts for ops[0..n); returns how many keys were newly
+  /// inserted.  Duplicate keys within one batch are applied in shard
+  /// grouping order, not positional order — callers that care about
+  /// intra-batch overwrite order must not repeat keys in a batch.
+  std::size_t multi_put(const std::pair<K, V>* ops, std::size_t n,
+                        unsigned tid) {
+    if (n == 0) return 0;
+    static thread_local ShardPlan plan;  // scratch: reused across calls
+    group_by_shard(plan, n,
+                   [&](std::size_t i) { return shard_index(ops[i].first); });
+    std::size_t inserted = 0;
+    for (std::size_t s = 0; s <= shard_mask_; ++s) {
+      const std::size_t b = s == 0 ? 0 : plan.start[s - 1], e = plan.start[s];
+      if (b != e)
+        inserted += shards_[s]->multi_put(ops, plan.order.data() + b, e - b, tid);
+    }
+    return inserted;
+  }
+
+  std::size_t multi_put(const std::vector<std::pair<K, V>>& ops, unsigned tid) {
+    return multi_put(ops.data(), ops.size(), tid);
   }
 
   std::size_t shard_count() const noexcept { return shard_mask_ + 1; }
@@ -114,6 +172,32 @@ class KvStore {
 
  private:
   ShardT& shard(const K& key) noexcept { return *shards_[shard_index(key)]; }
+
+  /// Counting-sort grouping for multi-ops.  After the call, shard s's
+  /// batch indices sit at order[b .. start[s]) with b = start[s-1] (0
+  /// for shard 0), in their original relative order (stable): start[s]
+  /// begins as shard s's first offset and is bumped once per placed
+  /// element, ending as its end offset — no separate cursor array.
+  struct ShardPlan {
+    std::vector<std::uint32_t> shard_of, order;
+    std::vector<std::size_t> start;
+  };
+
+  template <class ShardOf>
+  void group_by_shard(ShardPlan& plan, std::size_t n, ShardOf&& shard_of) {
+    plan.shard_of.resize(n);
+    plan.order.resize(n);
+    plan.start.assign(shard_mask_ + 2, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto s = static_cast<std::uint32_t>(shard_of(i));
+      plan.shard_of[i] = s;
+      ++plan.start[s + 1];
+    }
+    for (std::size_t s = 1; s <= shard_mask_ + 1; ++s)
+      plan.start[s] += plan.start[s - 1];
+    for (std::size_t i = 0; i < n; ++i)
+      plan.order[plan.start[plan.shard_of[i]]++] = static_cast<std::uint32_t>(i);
+  }
 
   std::size_t shard_mask_;
   std::vector<std::unique_ptr<ShardT>> shards_;

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
 
 #include "ds/hash_map.hpp"
 #include "kv/batch_retire.hpp"
@@ -51,24 +52,69 @@ class Shard {
     ops_.inc(kGet, tid);
     return map_.contains(key, tid);
   }
-  /// Insert-or-replace; true when the key was absent.
+  /// Insert-or-replace, in place; true when the key was absent.  A
+  /// replace is exactly one successful cell swap, so it counts one
+  /// value-cell retire.
   bool put(const K& key, const V& value, unsigned tid) {
     ops_.inc(kPut, tid);
-    return map_.put(key, value, tid);
+    const bool was_absent = map_.put(key, value, tid);
+    if (!was_absent) ops_.inc(kCellRetire, tid);
+    return was_absent;
+  }
+  /// Remove+re-insert upsert (the pre-value-cell baseline; kept for the
+  /// bench comparison and as a node-churn stressor).
+  bool put_copy(const K& key, const V& value, unsigned tid) {
+    ops_.inc(kPut, tid);
+    return map_.put_copy(key, value, tid);
   }
   /// Insert-if-absent; false (no write) when present.
   bool insert(const K& key, const V& value, unsigned tid) {
     ops_.inc(kPut, tid);
     return map_.insert(key, value, tid);
   }
-  /// Replace-if-present; false (no write) when absent.
+  /// Replace-if-present, in place; false (no write) when absent.
   bool update(const K& key, const V& value, unsigned tid) {
     ops_.inc(kUpdate, tid);
-    return map_.update(key, value, tid);
+    const bool updated = map_.update(key, value, tid);
+    if (updated) ops_.inc(kCellRetire, tid);
+    return updated;
   }
   std::optional<V> remove(const K& key, unsigned tid) {
     ops_.inc(kRemove, tid);
     return map_.remove(key, tid);
+  }
+
+  // ---- shard-local halves of the store's cross-shard multi-ops: the
+  // caller hands this shard its slice of the batch (positions `idx` into
+  // the caller's arrays); the whole slice runs in ONE tracker session
+  // (begin_op/end_op once), so epoch publishing, and for QSBR the
+  // quiescence announcement, amortize over the group. ----
+
+  void multi_get(const K* keys, const std::uint32_t* idx, std::size_t n,
+                 std::optional<V>* out, unsigned tid) {
+    ops_.inc(kGet, tid, n);
+    ops_.inc(kBatched, tid, n);
+    batched_.begin_op(tid);
+    for (std::size_t i = 0; i < n; ++i)
+      out[idx[i]] = map_.get_in_op(keys[idx[i]], tid);
+    batched_.end_op(tid);
+  }
+
+  /// In-place upserts for this shard's slice; returns how many keys were
+  /// newly inserted (the rest were replaced in place).
+  std::size_t multi_put(const std::pair<K, V>* ops, const std::uint32_t* idx,
+                        std::size_t n, unsigned tid) {
+    ops_.inc(kPut, tid, n);
+    ops_.inc(kBatched, tid, n);
+    std::size_t inserted = 0;
+    batched_.begin_op(tid);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& [k, v] = ops[idx[i]];
+      if (map_.put_in_op(k, v, tid)) ++inserted;
+    }
+    batched_.end_op(tid);
+    ops_.inc(kCellRetire, tid, n - inserted);
+    return inserted;
   }
 
   std::size_t size_unsafe() const noexcept { return map_.size_unsafe(); }
@@ -101,11 +147,13 @@ class Shard {
     s.batch_flushes = batched_.batch_flushes();
     if constexpr (requires(const Tracker& t) { t.slow_path_entries(); })
       s.slow_path_entries = tracker_.slow_path_entries();
+    s.value_cell_retires = ops_.sum(kCellRetire);
+    s.batched_ops = ops_.sum(kBatched);
     return s;
   }
 
  private:
-  enum OpLane : unsigned { kGet, kPut, kRemove, kUpdate, kLanes };
+  enum OpLane : unsigned { kGet, kPut, kRemove, kUpdate, kCellRetire, kBatched, kLanes };
 
   Tracker tracker_;  ///< the shard's reclamation domain
   Facade batched_;

@@ -36,6 +36,12 @@ struct ShardStats {
   std::uint64_t pending_retired = 0; ///< buffered in the batch adapter
   std::uint64_t batch_flushes = 0;
   std::uint64_t slow_path_entries = 0;  ///< WFE help requests (else 0)
+  /// Old value cells retired by in-place upserts (put/update on a
+  /// present key); the retire traffic that used to be whole nodes.
+  std::uint64_t value_cell_retires = 0;
+  /// Operations that arrived through multi_get/multi_put (grouped into
+  /// one tracker session per shard).
+  std::uint64_t batched_ops = 0;
 
   std::uint64_t ops() const noexcept { return gets + puts + removes + updates; }
 };
@@ -58,6 +64,8 @@ struct KvStats {
       t.pending_retired += s.pending_retired;
       t.batch_flushes += s.batch_flushes;
       t.slow_path_entries += s.slow_path_entries;
+      t.value_cell_retires += s.value_cell_retires;
+      t.batched_ops += s.batched_ops;
     }
     return t;
   }
@@ -80,6 +88,8 @@ inline void to_json(util::JsonWriter& j, const ShardStats& s) {
   j.kv("pending_retired", s.pending_retired);
   j.kv("batch_flushes", s.batch_flushes);
   j.kv("slow_path_entries", s.slow_path_entries);
+  j.kv("value_cell_retires", s.value_cell_retires);
+  j.kv("batched_ops", s.batched_ops);
   j.end_object();
 }
 

@@ -120,7 +120,7 @@ TEST(WfeIbr, StalledIntervalBoundsMemory) {
 
 TEST(WfeIbr, ForcedSlowPathListStress) {
   auto cfg = ext_cfg(true);
-  cfg.max_hes = 2;
+  cfg.max_hes = 3;  // HmList::kSlotsNeeded
   core::WfeIbrTracker tracker(cfg);
   ds::HmList<std::uint64_t, std::uint64_t, core::WfeIbrTracker> list(tracker);
   std::vector<std::thread> threads;

@@ -19,7 +19,7 @@ using namespace wfe;
 reclaim::TrackerConfig map_cfg() {
   reclaim::TrackerConfig c;
   c.max_threads = 4;
-  c.max_hes = 2;
+  c.max_hes = 3;  // HmList::kSlotsNeeded (prev + cur + value cell)
   c.era_freq = 8;
   c.cleanup_freq = 4;
   return c;

@@ -1,0 +1,234 @@
+// Oracle stress suite for the sharded kv store: recorded operation
+// streams run concurrently against BOTH the lock-free KvStore and a
+// mutex-guarded std::unordered_map reference, in lockstep per op, and
+// the two states are diffed after every phase.
+//
+// Determinism argument: each thread's stream draws keys only from its
+// own disjoint key slice, so per-slice state depends only on that
+// thread's (recorded, sequential) stream — any interleaving of the
+// slices yields the same final map, and each op's RESULT (insert/remove
+// success, get value, multi_put insert count) is deterministic too.
+// That lets the oracle check every single return value, not just the
+// final state, while the store underneath still takes fully concurrent
+// traffic (shared shards, shared buckets, shared reclamation domains,
+// cross-shard multi-op sessions).
+//
+// Runs across all 8 trackers and BOTH upsert paths: the in-place
+// value-cell swap (put) and the legacy remove+re-insert (put_copy).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "kv/kv_store.hpp"
+#include "tracker_types.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace wfe;
+
+template <class TR>
+using Store = kv::KvStore<std::uint64_t, std::uint64_t, TR>;
+
+constexpr unsigned kThreads = 4;
+constexpr unsigned kPhases = 3;
+constexpr unsigned kOpsPerThread = 2500;
+constexpr std::uint64_t kSlice = 512;      // keys per thread slice
+constexpr std::size_t kMultiBatch = 8;     // span width of multi-ops
+
+struct Op {
+  enum Kind : std::uint8_t { kInsert, kPut, kUpdate, kRemove, kGet,
+                             kMultiPut, kMultiGet };
+  Kind kind;
+  std::uint64_t key;    // base key for multi-ops
+  std::uint64_t value;
+};
+
+/// Record one thread-phase's stream up front ("recorded op streams"):
+/// the run must replay exactly what was generated, so failures are
+/// reproducible from (seed, tid, phase).
+std::vector<Op> record_stream(unsigned tid, unsigned phase) {
+  util::Xoshiro256 rng(0x5eedULL + tid * 7919 + phase * 104729);
+  const std::uint64_t base = 1 + tid * kSlice;
+  std::vector<Op> ops;
+  ops.reserve(kOpsPerThread);
+  for (unsigned i = 0; i < kOpsPerThread; ++i) {
+    Op op;
+    const auto r = rng.next_bounded(16);
+    op.kind = r < 3   ? Op::kInsert
+              : r < 6 ? Op::kPut
+              : r < 8 ? Op::kUpdate
+              : r < 11 ? Op::kRemove
+              : r < 14 ? Op::kGet
+              : r < 15 ? Op::kMultiPut
+                       : Op::kMultiGet;
+    // Multi-ops use kMultiBatch consecutive keys starting at key; keep
+    // the span inside the slice so the stream stays slice-local.
+    op.key = base + rng.next_bounded(kSlice - kMultiBatch);
+    op.value = rng.next();
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+/// The mutex-guarded reference.  Every access locks: threads share one
+/// unordered_map even though their key slices are disjoint.
+struct Reference {
+  std::mutex mu;
+  std::unordered_map<std::uint64_t, std::uint64_t> map;
+
+  bool insert(std::uint64_t k, std::uint64_t v) {
+    std::lock_guard<std::mutex> g(mu);
+    return map.emplace(k, v).second;
+  }
+  bool put(std::uint64_t k, std::uint64_t v) {  // returns "was absent"
+    std::lock_guard<std::mutex> g(mu);
+    auto [it, inserted] = map.insert_or_assign(k, v);
+    (void)it;
+    return inserted;
+  }
+  bool update(std::uint64_t k, std::uint64_t v) {
+    std::lock_guard<std::mutex> g(mu);
+    auto it = map.find(k);
+    if (it == map.end()) return false;
+    it->second = v;
+    return true;
+  }
+  std::optional<std::uint64_t> remove(std::uint64_t k) {
+    std::lock_guard<std::mutex> g(mu);
+    auto it = map.find(k);
+    if (it == map.end()) return std::nullopt;
+    const std::uint64_t v = it->second;
+    map.erase(it);
+    return v;
+  }
+  std::optional<std::uint64_t> get(std::uint64_t k) {
+    std::lock_guard<std::mutex> g(mu);
+    auto it = map.find(k);
+    return it == map.end() ? std::nullopt : std::make_optional(it->second);
+  }
+};
+
+template <class TR>
+kv::KvConfig oracle_cfg() {
+  kv::KvConfig c;
+  c.shards = 4;
+  c.buckets_per_shard = 64;
+  c.tracker.max_threads = kThreads;
+  c.tracker.max_hes = Store<TR>::kSlotsNeeded;
+  c.tracker.era_freq = 8;
+  c.tracker.cleanup_freq = 4;
+  c.tracker.retire_batch = 4;
+  return c;
+}
+
+/// Replays one recorded stream against both systems in lockstep,
+/// asserting every result matches.  `in_place` selects the upsert path
+/// for kPut ops.
+template <class TR>
+void replay(Store<TR>& store, Reference& ref, const std::vector<Op>& ops,
+            unsigned tid, bool in_place) {
+  std::vector<std::uint64_t> mkeys(kMultiBatch);
+  std::vector<std::optional<std::uint64_t>> mout(kMultiBatch);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> mputs(kMultiBatch);
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kInsert:
+        ASSERT_EQ(store.insert(op.key, op.value, tid),
+                  ref.insert(op.key, op.value));
+        break;
+      case Op::kPut:
+        ASSERT_EQ(in_place ? store.put(op.key, op.value, tid)
+                           : store.put_copy(op.key, op.value, tid),
+                  ref.put(op.key, op.value));
+        break;
+      case Op::kUpdate:
+        ASSERT_EQ(store.update(op.key, op.value, tid),
+                  ref.update(op.key, op.value));
+        break;
+      case Op::kRemove:
+        ASSERT_EQ(store.remove(op.key, tid), ref.remove(op.key));
+        break;
+      case Op::kGet:
+        ASSERT_EQ(store.get(op.key, tid), ref.get(op.key));
+        break;
+      case Op::kMultiPut: {
+        for (std::size_t i = 0; i < kMultiBatch; ++i)
+          mputs[i] = {op.key + i, op.value + i};
+        std::size_t ref_inserted = 0;
+        for (const auto& [k, v] : mputs) ref_inserted += ref.put(k, v) ? 1 : 0;
+        ASSERT_EQ(store.multi_put(mputs.data(), kMultiBatch, tid), ref_inserted);
+        break;
+      }
+      case Op::kMultiGet: {
+        for (std::size_t i = 0; i < kMultiBatch; ++i) mkeys[i] = op.key + i;
+        store.multi_get(mkeys.data(), kMultiBatch, mout.data(), tid);
+        for (std::size_t i = 0; i < kMultiBatch; ++i)
+          ASSERT_EQ(mout[i], ref.get(mkeys[i])) << "multi_get key " << mkeys[i];
+        break;
+      }
+    }
+  }
+  store.flush_retired(tid);
+}
+
+/// Diffs the full store state against the reference (phase boundary;
+/// all threads joined, so the unsafe snapshot is exact).
+template <class TR>
+void diff_states(Store<TR>& store, Reference& ref, unsigned phase) {
+  std::map<std::uint64_t, std::uint64_t> got;
+  store.for_each_unsafe([&](std::uint64_t k, std::uint64_t v) {
+    ASSERT_TRUE(got.emplace(k, v).second) << "duplicate key " << k;
+  });
+  std::map<std::uint64_t, std::uint64_t> want(ref.map.begin(), ref.map.end());
+  ASSERT_EQ(got, want) << "state diverged from oracle after phase " << phase;
+  ASSERT_EQ(store.size_unsafe(), want.size());
+}
+
+template <class TR>
+void run_oracle(bool in_place) {
+  Store<TR> store(oracle_cfg<TR>());
+  Reference ref;
+  for (unsigned phase = 0; phase < kPhases; ++phase) {
+    std::vector<std::vector<Op>> streams;
+    for (unsigned t = 0; t < kThreads; ++t)
+      streams.push_back(record_stream(t, phase));
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        replay<TR>(store, ref, streams[t], t, in_place);
+      });
+    }
+    for (auto& th : threads) th.join();
+    diff_states<TR>(store, ref, phase);
+  }
+  // Block conservation across the whole run: every allocation is live
+  // in the map (node + value cell per key), buffered, queued, or freed.
+  const kv::ShardStats tot = store.stats().total();
+  EXPECT_EQ(tot.allocated, tot.freed + 2 * store.size_unsafe() +
+                               tot.pending_retired + tot.unreclaimed);
+  if (in_place) EXPECT_GT(tot.batched_ops, 0u);
+}
+
+template <class TR>
+class KvOracleTest : public ::testing::Test {};
+
+TYPED_TEST_SUITE(KvOracleTest, test::AllTrackers);
+
+TYPED_TEST(KvOracleTest, InPlaceUpsertsMatchOracle) {
+  run_oracle<TypeParam>(/*in_place=*/true);
+}
+
+TYPED_TEST(KvOracleTest, CopyUpsertsMatchOracle) {
+  run_oracle<TypeParam>(/*in_place=*/false);
+}
+
+}  // namespace

@@ -202,18 +202,19 @@ TYPED_TEST(KvStoreTest, ConcurrentSweep8Threads) {
               store.size_unsafe());
 
     // Birth/retire balance while the store is alive: every allocated
-    // block is live in the map, buffered for retire, queued in the
-    // domain, or already freed.
+    // block is live in the map (a present key is TWO blocks — node +
+    // value cell), buffered for retire, queued in the domain, or
+    // already freed.
     const kv::ShardStats tot = store.stats().total();
     EXPECT_EQ(tot.allocated,
-              tot.freed + store.size_unsafe() + tot.pending_retired +
+              tot.freed + 2 * store.size_unsafe() + tot.pending_retired +
                   tot.unreclaimed);
     // And per shard — domains are independent, so the identity must
     // hold shard-locally too.
     const kv::KvStats st = store.stats();
     for (std::size_t i = 0; i < st.shards.size(); ++i) {
       const kv::ShardStats& s = st.shards[i];
-      EXPECT_EQ(s.allocated, s.freed + store.shard_at(i).size_unsafe() +
+      EXPECT_EQ(s.allocated, s.freed + 2 * store.shard_at(i).size_unsafe() +
                                  s.pending_retired + s.unreclaimed)
           << "shard " << i;
     }

@@ -22,7 +22,7 @@ using List = ds::HmList<std::uint64_t, std::uint64_t, core::WfeTracker>;
 reclaim::TrackerConfig list_cfg() {
   reclaim::TrackerConfig c;
   c.max_threads = 4;
-  c.max_hes = 2;
+  c.max_hes = 3;  // HmList::kSlotsNeeded (prev + cur + value cell)
   c.era_freq = 8;
   c.cleanup_freq = 4;
   return c;

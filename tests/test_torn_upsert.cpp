@@ -1,0 +1,129 @@
+// Torn-upsert race: two writers update() the SAME key ~1e6 times while
+// readers get() it continuously, across every reclamation scheme.
+//
+// What the in-place value-cell protocol must guarantee under this race:
+//  * no lost update — every update() CAS-swaps its own fresh cell
+//    exactly once, so the final cell is the chronologically last
+//    writer's LAST value (each writer's final op is its own last CAS);
+//  * no torn/stale read — a reader sees only values some writer
+//    actually published, never a freed cell's bits, and its successive
+//    reads move forward in the cell history (per-writer sequence
+//    numbers are non-decreasing as observed by one reader);
+//  * allocation balance — every displaced cell is retired exactly once
+//    (update count == value_cell_retires) and the block ledger closes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "kv/kv_store.hpp"
+#include "tracker_types.hpp"
+
+namespace {
+
+using namespace wfe;
+
+template <class TR>
+using Store = kv::KvStore<std::uint64_t, std::uint64_t, TR>;
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr std::uint64_t kUpdatesPerWriter = 60'000;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr std::uint64_t kUpdatesPerWriter = 60'000;
+#else
+constexpr std::uint64_t kUpdatesPerWriter = 500'000;
+#endif
+#else
+constexpr std::uint64_t kUpdatesPerWriter = 500'000;
+#endif
+
+constexpr unsigned kWriters = 2;
+constexpr unsigned kReaders = 2;
+constexpr std::uint64_t kKey = 42;
+
+// Value encoding: high byte = writer id (kWriters = initial insert),
+// low 56 bits = the writer's sequence number.
+constexpr std::uint64_t encode(std::uint64_t writer, std::uint64_t seq) {
+  return (writer << 56) | seq;
+}
+constexpr std::uint64_t writer_of(std::uint64_t v) { return v >> 56; }
+constexpr std::uint64_t seq_of(std::uint64_t v) {
+  return v & ((std::uint64_t{1} << 56) - 1);
+}
+
+template <class TR>
+class TornUpsertTest : public ::testing::Test {};
+
+TYPED_TEST_SUITE(TornUpsertTest, test::AllTrackers);
+
+TYPED_TEST(TornUpsertTest, TwoWritersManyReadersOneKey) {
+  constexpr unsigned kThreads = kWriters + kReaders;
+  kv::KvConfig cfg;
+  cfg.shards = 2;
+  cfg.buckets_per_shard = 16;
+  cfg.tracker.max_threads = kThreads;
+  cfg.tracker.max_hes = Store<TypeParam>::kSlotsNeeded;
+  cfg.tracker.era_freq = 16;
+  cfg.tracker.cleanup_freq = 8;
+  cfg.tracker.retire_batch = 8;
+  Store<TypeParam> store(cfg);
+
+  ASSERT_TRUE(store.insert(kKey, encode(kWriters, 0), 0));
+
+  std::atomic<unsigned> writers_done{0};
+  std::vector<std::thread> threads;
+  for (unsigned w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (std::uint64_t seq = 0; seq < kUpdatesPerWriter; ++seq) {
+        // The key is never removed, so every in-place update must land.
+        ASSERT_TRUE(store.update(kKey, encode(w, seq), w));
+      }
+      store.flush_retired(w);
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  for (unsigned r = 0; r < kReaders; ++r) {
+    const unsigned tid = kWriters + r;
+    threads.emplace_back([&, tid] {
+      // Last sequence seen per writer: reads are linearizable, so one
+      // reader's successive observations walk forward through the cell
+      // history and each writer's seq can only grow.
+      std::uint64_t last_seen[kWriters + 1] = {0, 0, 0};
+      while (writers_done.load(std::memory_order_acquire) < kWriters) {
+        const auto v = store.get(kKey, tid);
+        ASSERT_TRUE(v.has_value()) << "key must never appear absent";
+        const std::uint64_t writer = writer_of(*v), seq = seq_of(*v);
+        ASSERT_LE(writer, kWriters) << "torn value: unknown writer tag";
+        ASSERT_LT(seq, kUpdatesPerWriter) << "torn value: seq out of range";
+        ASSERT_GE(seq, last_seen[writer]) << "reader moved backwards";
+        last_seen[writer] = seq;
+      }
+      store.flush_retired(tid);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // No lost update: both writers finished, so the surviving cell is one
+  // of their final values — anything else means an update vanished.
+  const auto final_v = store.get(kKey, 0);
+  ASSERT_TRUE(final_v.has_value());
+  EXPECT_LT(writer_of(*final_v), kWriters);
+  EXPECT_EQ(seq_of(*final_v), kUpdatesPerWriter - 1);
+  EXPECT_EQ(store.size_unsafe(), 1u);
+
+  // No stale cell survives: every one of the 2 * kUpdatesPerWriter
+  // displaced cells was retired exactly once...
+  const kv::ShardStats tot = store.stats().total();
+  EXPECT_EQ(tot.value_cell_retires, kWriters * kUpdatesPerWriter);
+  EXPECT_EQ(tot.updates, kWriters * kUpdatesPerWriter);
+  // ...and the block ledger closes: 1 node + 1 live cell remain, all
+  // other allocations are freed, buffered, or awaiting a scan.
+  EXPECT_EQ(tot.allocated, tot.freed + 2 * store.size_unsafe() +
+                               tot.pending_retired + tot.unreclaimed);
+}
+
+}  // namespace

@@ -187,7 +187,7 @@ TEST(Wfe, ForcedSlowPathListStress) {
   // Full-stack stress under permanent slow path (the paper §5 validated
   // WFE this way): a real structure with traversal-heavy operations.
   auto cfg = small_cfg(true);
-  cfg.max_hes = 2;
+  cfg.max_hes = 3;  // HmList::kSlotsNeeded
   WfeTracker tracker(cfg);
   ds::HmList<std::uint64_t, std::uint64_t, WfeTracker> list(tracker);
   std::vector<std::thread> threads;
