@@ -24,7 +24,17 @@
 //   WFE_KV_MBATCH_LIST     comma list of multi-op widths (default "1,16")
 //                          1 = single ops; >1 = multi_get/multi_put spans
 //                          (swept on the inplace path only)
+//   WFE_KV_RESIZE          0 disables the resize sweep   (default 1)
+//   WFE_KV_RESIZE_FROM     shard count before the resize (default 4)
+//   WFE_KV_RESIZE_TO       shard count after the resize  (default 16)
 //   WFE_KV_JSON            output path                   (default BENCH_kv.json)
+//
+// The resize sweep measures the dip-and-recovery profile of one online
+// resize under load, per tracker and thread count: `pre` (steady state
+// at FROM shards), `during` (worker 0 triggers resize(TO) a third of
+// the way into the window and runs the migration inline), `post`
+// (steady state on the migrated store), and `fresh` (a control store
+// CONSTRUCTED at TO shards) — post vs fresh is the recovery headline.
 //
 // The non-read half of the mix is ALWAYS an upsert over the full key
 // range, so at the default prefill (half the range) a write replaces a
@@ -32,10 +42,13 @@
 // the in-place path must win on.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -100,6 +113,8 @@ struct Params {
   std::uint64_t key_range;
   unsigned retire_batch;
   bool inplace, copy;  // upsert paths to sweep
+  bool resize;
+  unsigned resize_from, resize_to;
   std::vector<unsigned> threads, shards, read_pcts, mbatch;
 };
 
@@ -224,6 +239,112 @@ void run_one(const Params& pp, util::JsonWriter& j, unsigned nshards,
   j.end_object();
 }
 
+/// One measured window of the shared 50/50 get/put mix on `store`.
+/// `mid_resize`, when set, makes worker 0 trigger resize(`to`) once a
+/// third of the way through the window and run the migration inline.
+template <class TR>
+double measure_mix(kv::KvStore<std::uint64_t, std::uint64_t, TR>& store,
+                   const Params& pp, unsigned nthreads, unsigned read_pct,
+                   bool mid_resize, unsigned to) {
+  harness::RunConfig rc;
+  rc.threads = nthreads;
+  rc.seconds = pp.seconds;
+  rc.repeats = 1;
+  std::atomic<bool> resized{false};
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto trigger =
+      t0 + std::chrono::duration<double>(pp.seconds / 3.0);
+  harness::RunResult r = harness::run_timed(
+      rc,
+      [&](util::Xoshiro256& rng, unsigned tid) {
+        if (mid_resize && tid == 0 &&
+            !resized.load(std::memory_order_relaxed) &&
+            std::chrono::steady_clock::now() >= trigger) {
+          resized.store(true, std::memory_order_relaxed);
+          store.resize(to, tid);
+          return;
+        }
+        const std::uint64_t k = rng.next_bounded(pp.key_range) + 1;
+        if (rng.percent(read_pct)) {
+          store.get(k, tid);
+        } else {
+          store.put(k, k, tid);
+        }
+      },
+      [&] {
+        std::uint64_t u = 0;
+        const kv::KvStats st = store.stats();
+        for (const auto& s : st.shards) u += s.unreclaimed + s.pending_retired;
+        return u;
+      });
+  return r.mops;
+}
+
+/// Dip-and-recovery profile of one online resize (see file header).
+template <class TR>
+void run_resize_one(const Params& pp, util::JsonWriter& j, unsigned nthreads) {
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, TR>;
+  const unsigned read_pct = 50;
+  const auto make = [&](unsigned shards) {
+    kv::KvConfig cfg;
+    cfg.shards = shards;
+    cfg.buckets_per_shard = std::max<std::size_t>(64, 4096 / std::max(1u, shards));
+    cfg.tracker.max_threads = nthreads;
+    cfg.tracker.max_hes = Store::kSlotsNeeded;
+    cfg.tracker.retire_batch = pp.retire_batch;
+    auto store = std::make_unique<Store>(cfg);
+    const std::uint64_t prefill = std::min(pp.prefill, pp.key_range);
+    util::Xoshiro256 seed_rng(42);
+    std::uint64_t inserted = 0;
+    while (inserted < prefill)
+      inserted +=
+          store->insert(seed_rng.next_bounded(pp.key_range) + 1, inserted, 0)
+              ? 1
+              : 0;
+    return store;
+  };
+
+  auto store = make(pp.resize_from);
+  const double pre =
+      measure_mix<TR>(*store, pp, nthreads, read_pct, false, 0);
+  const double during =
+      measure_mix<TR>(*store, pp, nthreads, read_pct, true, pp.resize_to);
+  const double post =
+      measure_mix<TR>(*store, pp, nthreads, read_pct, false, 0);
+  auto control = make(pp.resize_to);
+  const double fresh =
+      measure_mix<TR>(*control, pp, nthreads, read_pct, false, 0);
+
+  const kv::KvStats st = store->stats();
+  std::printf(
+      "%-8s RESIZE %u->%u threads=%-3u pre=%7.3f during=%7.3f post=%7.3f "
+      "fresh=%7.3f Mops/s  migrated=%llu forwarded=%llu\n",
+      TR::name(), pp.resize_from, pp.resize_to, nthreads, pre, during, post,
+      fresh, static_cast<unsigned long long>(st.migrated_keys),
+      static_cast<unsigned long long>(st.forwarded_ops));
+
+  j.begin_object();
+  j.kv("tracker", TR::name());
+  j.kv("mode", "resize");
+  j.kv("threads", nthreads);
+  j.kv("read_pct", read_pct);
+  j.kv("from_shards", static_cast<std::uint64_t>(
+                          st.resizes.empty() ? pp.resize_from
+                                             : st.resizes[0].from_shards));
+  j.kv("to_shards", static_cast<std::uint64_t>(st.shard_count));
+  j.kv("pre_mops", pre);
+  j.kv("during_mops", during);
+  j.kv("post_mops", post);
+  j.kv("fresh_mops", fresh);
+  j.kv("migrated_keys", st.migrated_keys);
+  j.kv("forwarded_ops", st.forwarded_ops);
+  j.kv("resize_epochs", st.resize_epochs);
+  j.key("resizes").begin_array();
+  for (const auto& r : st.resizes) to_json(j, r);
+  j.end_array();
+  j.end_object();
+}
+
 template <class TR>
 void run_tracker(const Params& pp, util::JsonWriter& j) {
   for (unsigned nshards : pp.shards) {
@@ -239,6 +360,8 @@ void run_tracker(const Params& pp, util::JsonWriter& j) {
       }
     }
   }
+  if (pp.resize)
+    for (unsigned nthreads : pp.threads) run_resize_one<TR>(pp, j, nthreads);
 }
 
 }  // namespace
@@ -259,6 +382,11 @@ int main() {
   pp.mbatch = env_list("WFE_KV_MBATCH_LIST", {1, 16});
   pp.inplace = env_has_word("WFE_KV_UPSERT_LIST", "inplace");
   pp.copy = env_has_word("WFE_KV_UPSERT_LIST", "copy");
+  pp.resize = harness::env_long("WFE_KV_RESIZE", 1) != 0;
+  pp.resize_from =
+      static_cast<unsigned>(harness::env_long("WFE_KV_RESIZE_FROM", 4));
+  pp.resize_to =
+      static_cast<unsigned>(harness::env_long("WFE_KV_RESIZE_TO", 16));
   const char* out_path = std::getenv("WFE_KV_JSON");
   if (out_path == nullptr) out_path = "BENCH_kv.json";
 

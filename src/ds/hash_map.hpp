@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "ds/hm_list.hpp"
 #include "reclaim/tracker.hpp"
@@ -77,14 +79,46 @@ class BucketArray {
     return bucket(key).contains(key, tid);
   }
 
+  // ---- freeze-aware variants (kv resharding): false = the key's bucket
+  // is frozen, no state change happened, re-execute at the migration
+  // destination (see HmList). ----
+  bool try_get(const K& key, unsigned tid, std::optional<V>& out) {
+    return bucket(key).try_get(key, tid, out);
+  }
+  bool try_insert(const K& key, const V& value, unsigned tid, bool& inserted) {
+    return bucket(key).try_insert(key, value, tid, inserted);
+  }
+  bool try_put(const K& key, const V& value, unsigned tid, bool& was_absent) {
+    return bucket(key).try_put(key, value, tid, was_absent);
+  }
+  bool try_update(const K& key, const V& value, unsigned tid, bool& updated) {
+    return bucket(key).try_update(key, value, tid, updated);
+  }
+  bool try_remove(const K& key, unsigned tid, std::optional<V>& out) {
+    return bucket(key).try_remove(key, tid, out);
+  }
+
   // ---- unbracketed variants: caller holds one begin_op/end_op bracket
   // on the shared tracker around a batch of calls (kv multi-ops).  All
   // buckets share that tracker, so one session covers any key mix. ----
-  std::optional<V> get_in_op(const K& key, unsigned tid) {
-    return bucket(key).get_in_op(key, tid);
+  bool try_get_in_op(const K& key, unsigned tid, std::optional<V>& out) {
+    return bucket(key).try_get_in_op(key, tid, out);
   }
-  bool put_in_op(const K& key, const V& value, unsigned tid) {
-    return bucket(key).put_in_op(key, value, tid);
+  bool try_put_in_op(const K& key, const V& value, unsigned tid,
+                     bool& was_absent) {
+    return bucket(key).try_put_in_op(key, value, tid, was_absent);
+  }
+
+  // ---- migration primitives, by bucket index (kv resharding; single
+  // designated migrator per bucket — see HmList for the protocol) ----
+  void freeze_and_collect(std::size_t i, unsigned tid,
+                          std::vector<std::pair<K, V>>& pairs,
+                          std::vector<bool>& node_live) {
+    buckets_[i].list->freeze_and_collect(tid, pairs, node_live);
+  }
+  std::pair<std::size_t, std::size_t> drain_frozen(
+      std::size_t i, unsigned tid, const std::vector<bool>& node_live) {
+    return buckets_[i].list->drain_frozen(tid, node_live);
   }
 
   std::size_t bucket_count() const noexcept { return mask_ + 1; }

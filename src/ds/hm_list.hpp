@@ -52,10 +52,34 @@
 // caller can batch several operations into one tracker session (the kv
 // store's cross-shard multi_get/multi_put); the bracketed entry points
 // below are single-op conveniences over them.
+//
+// Bucket freeze (kv online resharding): a designated migrator calls
+// freeze_and_collect(), which fetch_or-s util::kFreezeBit into the head
+// word, then walks the list freezing every `next` word BEFORE following
+// it and every cell word of each node it passes.  Every mutation CAS in
+// this file expects an unfrozen word, so once a link is frozen no
+// insert/unlink can succeed against it, and a successful insert can only
+// land on a link the freezer has not reached yet — which it then walks
+// through.  remove()'s cell fetch_or cannot fail, so it checks the prior
+// word: a freeze bit there means the remover did NOT claim the cell
+// (the stray mark it left is ignored — liveness was captured at freeze
+// time).  Every try_* operation that observes a freeze bit aborts with
+// "frozen" instead of retrying; the kv store then waits for the bucket's
+// migration flag and re-executes against the destination table.  After
+// the destination holds all live pairs, drain_frozen() pops the frozen
+// list node by node — overwriting head and each popped node's next word
+// BEFORE retiring, so protect_word validation can never re-acquire a
+// retired block — and retires nodes plus the cells that were live at
+// freeze time in THIS bucket's (the source shard's) domain.  Frozen
+// buckets stay frozen forever; the plain entry points below must never
+// run against a freezable bucket (the kv store uses try_* only).
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "reclaim/tracker.hpp"
 #include "util/cacheline.hpp"
@@ -88,12 +112,14 @@ class HmList {
     }
   }
 
-  /// Inserts (key, value); fails if the key is present.
+  /// Inserts (key, value); fails if the key is present.  Plain entry
+  /// points assume a bucket that is never frozen (figure benches).
   bool insert(const K& key, const V& value, unsigned tid) {
     tracker_.begin_op(tid);
-    const bool ok = insert_impl(key, value, tid);
+    bool inserted = false;
+    while (!insert_impl(key, value, tid, inserted)) {}
     tracker_.end_op(tid);
-    return ok;
+    return inserted;
   }
 
   /// Insert-or-replace ("put" in the paper's key-value interface).  A
@@ -103,7 +129,8 @@ class HmList {
   /// of a node.  Returns true when the key was absent.
   bool put(const K& key, const V& value, unsigned tid) {
     tracker_.begin_op(tid);
-    const bool was_absent = put_impl(key, value, tid);
+    bool was_absent = false;
+    while (!put_impl(key, value, tid, was_absent)) {}
     tracker_.end_op(tid);
     return was_absent;
   }
@@ -116,9 +143,13 @@ class HmList {
   bool put_copy(const K& key, const V& value, unsigned tid) {
     tracker_.begin_op(tid);
     bool was_absent = true;
-    while (!insert_impl(key, value, tid)) {
+    for (;;) {
+      bool inserted = false;
+      while (!insert_impl(key, value, tid, inserted)) {}
+      if (inserted) break;
       was_absent = false;
-      remove_impl(key, tid);
+      std::optional<V> dropped;
+      while (!remove_impl(key, tid, dropped)) {}
     }
     tracker_.end_op(tid);
     return was_absent;
@@ -128,7 +159,8 @@ class HmList {
   /// (without inserting or writing) when the key is absent.
   bool update(const K& key, const V& value, unsigned tid) {
     tracker_.begin_op(tid);
-    const bool updated = update_impl(key, value, tid);
+    bool updated = false;
+    while (!update_impl(key, value, tid, updated)) {}
     tracker_.end_op(tid);
     return updated;
   }
@@ -136,7 +168,8 @@ class HmList {
   /// Removes key; returns its value if present.
   std::optional<V> remove(const K& key, unsigned tid) {
     tracker_.begin_op(tid);
-    std::optional<V> out = remove_impl(key, tid);
+    std::optional<V> out;
+    while (!remove_impl(key, tid, out)) {}
     tracker_.end_op(tid);
     return out;
   }
@@ -144,23 +177,136 @@ class HmList {
   /// Point lookup.
   std::optional<V> get(const K& key, unsigned tid) {
     tracker_.begin_op(tid);
-    std::optional<V> out = get_impl(key, tid);
+    std::optional<V> out;
+    while (!get_impl(key, tid, out)) {}
     tracker_.end_op(tid);
     return out;
   }
 
   bool contains(const K& key, unsigned tid) { return get(key, tid).has_value(); }
 
+  // ---- freeze-aware entry points (kv resharding): each returns true
+  // when the operation completed and false when it observed a freeze bit
+  // and performed NO state change (any speculative allocation is torn
+  // down), so the caller can re-execute it against the destination
+  // table.  The tracker session is closed either way — forwarding
+  // decisions (spinning on the migration flag) happen outside any
+  // reservation. ----
+  bool try_get(const K& key, unsigned tid, std::optional<V>& out) {
+    tracker_.begin_op(tid);
+    const bool done = get_impl(key, tid, out);
+    tracker_.end_op(tid);
+    return done;
+  }
+  bool try_insert(const K& key, const V& value, unsigned tid, bool& inserted) {
+    tracker_.begin_op(tid);
+    const bool done = insert_impl(key, value, tid, inserted);
+    tracker_.end_op(tid);
+    return done;
+  }
+  bool try_put(const K& key, const V& value, unsigned tid, bool& was_absent) {
+    tracker_.begin_op(tid);
+    const bool done = put_impl(key, value, tid, was_absent);
+    tracker_.end_op(tid);
+    return done;
+  }
+  bool try_update(const K& key, const V& value, unsigned tid, bool& updated) {
+    tracker_.begin_op(tid);
+    const bool done = update_impl(key, value, tid, updated);
+    tracker_.end_op(tid);
+    return done;
+  }
+  bool try_remove(const K& key, unsigned tid, std::optional<V>& out) {
+    tracker_.begin_op(tid);
+    const bool done = remove_impl(key, tid, out);
+    tracker_.end_op(tid);
+    return done;
+  }
+
   // ---- unbracketed variants: the caller holds the tracker's
   // begin_op/end_op bracket around a batch of calls (kv multi-ops).
   // Safe for every scheme: EBR/QSBR reservations taken at begin_op stay
   // published (a longer pin, strictly conservative), pointer/era slots
   // are re-published per call anyway. ----
-  std::optional<V> get_in_op(const K& key, unsigned tid) {
-    return get_impl(key, tid);
+  bool try_get_in_op(const K& key, unsigned tid, std::optional<V>& out) {
+    return get_impl(key, tid, out);
   }
-  bool put_in_op(const K& key, const V& value, unsigned tid) {
-    return put_impl(key, value, tid);
+  bool try_put_in_op(const K& key, const V& value, unsigned tid,
+                     bool& was_absent) {
+    return put_impl(key, value, tid, was_absent);
+  }
+
+  // ---- migration primitives (single designated migrator thread) ----
+
+  /// True once freeze_and_collect has begun on this bucket (sticky).
+  bool frozen() const noexcept {
+    return util::is_frozen(head_.load(std::memory_order_acquire));
+  }
+
+  /// Migration step 1: freeze the bucket and collect its live pairs.
+  /// Freezes head, then every node's `next` (BEFORE following it) and
+  /// cell word; appends (key, value) for each node whose captured next
+  /// AND cell words were unmarked, and one liveness flag per linked node
+  /// (order = list order, which is immutable once frozen) for
+  /// drain_frozen's retire ledger.  The cell dereference needs no slot:
+  /// after the freeze bit lands on a cell word, no upsert CAS can
+  /// displace the cell and no remover can claim it, so only the migrator
+  /// can retire it — and it has not yet.
+  void freeze_and_collect(unsigned tid, std::vector<std::pair<K, V>>& pairs,
+                          std::vector<bool>& node_live) {
+    tracker_.begin_op(tid);
+    head_.fetch_or(util::kFreezeBit, std::memory_order_acq_rel);
+    std::atomic<std::uintptr_t>* link = &head_;
+    Node* parent = nullptr;
+    unsigned slot = 0;
+    for (;;) {
+      const std::uintptr_t w = tracker_.protect_word(*link, slot, tid, parent);
+      Node* n = util::unpack_ptr<Node>(w);
+      if (n == nullptr) break;
+      const std::uintptr_t nw =
+          n->next.fetch_or(util::kFreezeBit, std::memory_order_acq_rel);
+      const std::uintptr_t cw =
+          n->cell.fetch_or(util::kFreezeBit, std::memory_order_acq_rel);
+      const bool live = !util::is_marked(nw) && !util::is_marked(cw);
+      if (live)
+        pairs.emplace_back(n->key, util::unpack_ptr<ValueCell>(cw)->value);
+      node_live.push_back(live);
+      link = &n->next;
+      parent = n;
+      slot ^= 1u;
+    }
+    tracker_.end_op(tid);
+  }
+
+  /// Migration step 3 (after the destination table holds every live pair
+  /// and the bucket's migration flag is set): pop the frozen list and
+  /// retire its blocks in THIS bucket's domain.  Each pop overwrites the
+  /// head AND the popped node's next word (with a frozen tombstone)
+  /// before the node — or any successor — is retired, so a reader's
+  /// protect_word validation can never succeed on a word that still
+  /// names a retired block.  `node_live` is freeze_and_collect's flag
+  /// vector: live nodes retire their cell too (dead nodes' cells were
+  /// already retired by the removers that won them).  Returns
+  /// {nodes retired, cells retired}.
+  std::pair<std::size_t, std::size_t> drain_frozen(
+      unsigned tid, const std::vector<bool>& node_live) {
+    constexpr std::uintptr_t kFrozenEnd = util::kFreezeBit | util::kMarkBit;
+    std::size_t nodes = 0, cells = 0;
+    Node* n = util::unpack_ptr<Node>(head_.load(std::memory_order_acquire));
+    while (n != nullptr) {
+      const std::uintptr_t nw = n->next.load(std::memory_order_acquire);
+      const std::uintptr_t cw = n->cell.load(std::memory_order_acquire);
+      head_.store(util::strip(nw) | util::kFreezeBit, std::memory_order_release);
+      n->next.store(kFrozenEnd, std::memory_order_release);
+      if (node_live[nodes]) {
+        tracker_.retire(util::unpack_ptr<ValueCell>(cw), tid);
+        ++cells;
+      }
+      tracker_.retire(n, tid);
+      ++nodes;
+      n = util::unpack_ptr<Node>(nw);
+    }
+    return {nodes, cells};
   }
 
   /// Quiescent iteration over present (key, value) pairs in key order.
@@ -219,12 +365,14 @@ class HmList {
     Node* next;       // cur's successor snapshot (unprotected)
     bool found;
     unsigned cur_slot;  // slot currently protecting cur
+    bool frozen;        // a freeze bit was observed: abort, forward
   };
 
   /// Michael's find(): on return, cur (if non-null) is protected and was
   /// observed next-unmarked and in-list; prev_link is the link that named
   /// it.  `found` does NOT consult the cell word — callers decide how to
   /// treat a cell-marked (logically deleted, not yet unlinked) node.
+  /// A freeze bit on any traversed word aborts with pos.frozen set.
   Position find(const K& key, unsigned tid) {
   retry:
     std::atomic<std::uintptr_t>* prev_link = &head_;
@@ -233,11 +381,15 @@ class HmList {
     for (;;) {
       const std::uintptr_t cur_w =
           tracker_.protect_word(*prev_link, cur_slot, tid, prev_node);
+      if (util::is_frozen(cur_w))
+        return {nullptr, nullptr, nullptr, nullptr, false, cur_slot, true};
       if (util::is_marked(cur_w)) goto retry;  // prev got deleted
       Node* cur = util::unpack_ptr<Node>(cur_w);
       if (cur == nullptr)
-        return {prev_link, prev_node, nullptr, nullptr, false, cur_slot};
+        return {prev_link, prev_node, nullptr, nullptr, false, cur_slot, false};
       const std::uintptr_t next_w = cur->next.load(std::memory_order_acquire);
+      if (util::is_frozen(next_w))
+        return {nullptr, nullptr, nullptr, nullptr, false, cur_slot, true};
       if (util::is_marked(next_w)) {
         // cur is logically deleted: unlink it before proceeding.  Its
         // cell was retired by the remover that marked the cell word
@@ -254,7 +406,7 @@ class HmList {
       }
       if (!(cur->key < key)) {
         return {prev_link,         prev_node, cur, util::unpack_ptr<Node>(next_w),
-                !(key < cur->key), cur_slot};
+                !(key < cur->key), cur_slot,  false};
       }
       prev_link = &cur->next;
       prev_node = cur;
@@ -271,32 +423,59 @@ class HmList {
     node->next.fetch_or(util::kMarkBit, std::memory_order_acq_rel);
   }
 
-  std::optional<V> get_impl(const K& key, unsigned tid) {
+  /// Each impl returns true when the operation completed (result in the
+  /// out-param) and false when it observed a freeze bit before making
+  /// any state change (speculative allocations torn down): the caller
+  /// must re-execute against the bucket's migration destination.
+
+  bool get_impl(const K& key, unsigned tid, std::optional<V>& out) {
     Position pos = find(key, tid);
-    if (!pos.found) return std::nullopt;
+    if (pos.frozen) return false;
+    if (!pos.found) {
+      out = std::nullopt;
+      return true;
+    }
     // Protect the cell before dereferencing: a concurrent upsert may
     // CAS it out and retire it at any moment.  The node (parent) is
     // already protected by find()'s slot.
     const std::uintptr_t cw =
         tracker_.protect_word(pos.cur->cell, kCellSlot, tid, pos.cur);
-    if (util::is_marked(cw)) return std::nullopt;  // tombstone: deleted
-    return util::unpack_ptr<ValueCell>(cw)->value;
+    if (util::is_frozen(cw)) return false;  // never deref a frozen cell
+    if (util::is_marked(cw)) {
+      out = std::nullopt;  // tombstone: deleted
+      return true;
+    }
+    out = util::unpack_ptr<ValueCell>(cw)->value;
+    return true;
   }
 
-  bool insert_impl(const K& key, const V& value, unsigned tid) {
+  bool insert_impl(const K& key, const V& value, unsigned tid, bool& inserted) {
     Node* node = nullptr;
     ValueCell* cell = nullptr;
+    const auto discard = [&] {
+      if (cell != nullptr) tracker_.dealloc(cell, tid);  // never published
+      if (node != nullptr) tracker_.dealloc(node, tid);
+    };
     for (;;) {
       Position pos = find(key, tid);
+      if (pos.frozen) {
+        discard();
+        return false;
+      }
       if (pos.found) {
-        if (util::is_marked(pos.cur->cell.load(std::memory_order_acquire))) {
+        const std::uintptr_t cw = pos.cur->cell.load(std::memory_order_acquire);
+        if (util::is_frozen(cw)) {
+          discard();
+          return false;
+        }
+        if (util::is_marked(cw)) {
           // Logically deleted: help it leave, then the key is insertable.
           finish_remove(pos.cur);
           continue;
         }
-        if (cell != nullptr) tracker_.dealloc(cell, tid);  // never published
-        if (node != nullptr) tracker_.dealloc(node, tid);
-        return false;
+        discard();
+        inserted = false;
+        return true;
       }
       if (cell == nullptr) cell = tracker_.template alloc<ValueCell>(tid, value);
       if (node == nullptr) node = tracker_.template alloc<Node>(tid, key);
@@ -306,21 +485,35 @@ class HmList {
       if (pos.prev_link->compare_exchange_strong(expected, util::pack_ptr(node),
                                                  std::memory_order_acq_rel,
                                                  std::memory_order_relaxed)) {
+        inserted = true;
         return true;
       }
     }
   }
 
-  /// Insert-or-replace.  The fresh cell is allocated once and is always
-  /// published, either via the node-insert CAS or the cell-swap CAS.
-  bool put_impl(const K& key, const V& value, unsigned tid) {
+  /// Insert-or-replace.  The fresh cell is allocated once and — unless
+  /// the bucket freezes under us — is always published, either via the
+  /// node-insert CAS or the cell-swap CAS.
+  bool put_impl(const K& key, const V& value, unsigned tid, bool& was_absent) {
     ValueCell* cell = tracker_.template alloc<ValueCell>(tid, value);
     Node* node = nullptr;
+    const auto discard = [&] {
+      tracker_.dealloc(cell, tid);  // never published
+      if (node != nullptr) tracker_.dealloc(node, tid);
+    };
     for (;;) {
       Position pos = find(key, tid);
+      if (pos.frozen) {
+        discard();
+        return false;
+      }
       if (pos.found) {
         std::uintptr_t cw = pos.cur->cell.load(std::memory_order_acquire);
         for (;;) {
+          if (util::is_frozen(cw)) {
+            discard();
+            return false;
+          }
           if (util::is_marked(cw)) break;  // deleted under us: re-insert
           if (pos.cur->cell.compare_exchange_strong(cw, util::pack_ptr(cell),
                                                     std::memory_order_acq_rel,
@@ -328,9 +521,10 @@ class HmList {
             // We unlinked the old cell; we retire it (the invariant).
             tracker_.retire(util::unpack_ptr<ValueCell>(cw), tid);
             if (node != nullptr) tracker_.dealloc(node, tid);
-            return false;
+            was_absent = false;
+            return true;
           }
-          // CAS reloaded cw: a racing upsert or a tombstone — loop.
+          // CAS reloaded cw: a racing upsert, a tombstone, or a freeze.
         }
         finish_remove(pos.cur);
         continue;
@@ -342,56 +536,87 @@ class HmList {
       if (pos.prev_link->compare_exchange_strong(expected, util::pack_ptr(node),
                                                  std::memory_order_acq_rel,
                                                  std::memory_order_relaxed)) {
+        was_absent = true;
         return true;
       }
     }
   }
 
-  bool update_impl(const K& key, const V& value, unsigned tid) {
+  bool update_impl(const K& key, const V& value, unsigned tid, bool& updated) {
     ValueCell* cell = tracker_.template alloc<ValueCell>(tid, value);
     for (;;) {
       Position pos = find(key, tid);
-      if (!pos.found) {
+      if (pos.frozen) {
         tracker_.dealloc(cell, tid);  // never published
         return false;
       }
+      if (!pos.found) {
+        tracker_.dealloc(cell, tid);  // never published
+        updated = false;
+        return true;
+      }
       std::uintptr_t cw = pos.cur->cell.load(std::memory_order_acquire);
       for (;;) {
+        if (util::is_frozen(cw)) {
+          tracker_.dealloc(cell, tid);
+          return false;
+        }
         if (util::is_marked(cw)) {
           // Tombstone: the key was absent when we observed the mark.
           finish_remove(pos.cur);
           tracker_.dealloc(cell, tid);
-          return false;
+          updated = false;
+          return true;
         }
         if (pos.cur->cell.compare_exchange_strong(cw, util::pack_ptr(cell),
                                                   std::memory_order_acq_rel,
                                                   std::memory_order_acquire)) {
           tracker_.retire(util::unpack_ptr<ValueCell>(cw), tid);
+          updated = true;
           return true;
         }
       }
     }
   }
 
-  std::optional<V> remove_impl(const K& key, unsigned tid) {
+  bool remove_impl(const K& key, unsigned tid, std::optional<V>& out) {
     for (;;) {
       Position pos = find(key, tid);
-      if (!pos.found) return std::nullopt;
+      if (pos.frozen) return false;
+      if (!pos.found) {
+        out = std::nullopt;
+        return true;
+      }
+      // Peek before the claiming fetch_or: a frozen cell must not even
+      // be marked if avoidable (the post-freeze stray mark is tolerated
+      // by the migrator, but the common case should stay clean).
+      if (util::is_frozen(pos.cur->cell.load(std::memory_order_acquire)))
+        return false;
       // Linearization: claim the key by marking the cell word.  The
       // winner owns the displaced cell (no CAS can succeed against a
       // marked word), so reading and retiring it needs no extra
       // protection.  Losing means another remove linearized first.
       const std::uintptr_t cw =
           pos.cur->cell.fetch_or(util::kMarkBit, std::memory_order_acq_rel);
+      if (util::is_frozen(cw)) {
+        // The freeze raced in between the peek and the claim: the stray
+        // mark we just set is ignored by the migrator (it captured
+        // liveness at freeze time).  No claim happened — forward.
+        return false;
+      }
       if (util::is_marked(cw)) {
         finish_remove(pos.cur);  // help the winner's physical deletion
-        return std::nullopt;
+        out = std::nullopt;
+        return true;
       }
       ValueCell* old_cell = util::unpack_ptr<ValueCell>(cw);
-      const V out = old_cell->value;
+      out = old_cell->value;
       tracker_.retire(old_cell, tid);
       // Physical deletion, unchanged from Harris-Michael: mark next
-      // (helpers may have done it already), then unlink.
+      // (helpers may have done it already), then unlink.  A freeze that
+      // lands after the claim only blocks the unlink: the node stays
+      // linked and is retired by the migrator's drain (which sees the
+      // marked cell and skips the cell we already retired).
       finish_remove(pos.cur);
       const std::uintptr_t next_w = pos.cur->next.load(std::memory_order_acquire);
       std::uintptr_t expected = util::pack_ptr(pos.cur);
@@ -400,9 +625,9 @@ class HmList {
               std::memory_order_relaxed)) {
         tracker_.retire(pos.cur, tid);
       } else {
-        find(key, tid);  // help unlink, then we're done
+        find(key, tid);  // help unlink (no-op when frozen), then done
       }
-      return out;
+      return true;
     }
   }
 

@@ -1,6 +1,9 @@
 #pragma once
 // KvStore<K, V, Tracker>: power-of-two sharded key-value engine, each
-// shard an independent reclamation domain (see kv/shard.hpp).
+// shard an independent reclamation domain (see kv/shard.hpp), with
+// ONLINE DYNAMIC RESHARDING: resize(new_shard_count) migrates every key
+// into a freshly built shard array while readers and writers keep
+// running.
 //
 // Routing carves two independent bit ranges out of ONE splitmix64 hash
 // evaluation: the shard index comes from the HIGH bits, the in-shard
@@ -12,11 +15,49 @@
 // tracker (each is configured with the same max_threads).  A thread
 // only ever holds reservations in the shard it is currently operating
 // in, so per-shard reservation scans stay domain-local.
+//
+// === Resharding protocol ===
+//
+// The shard array lives in a Table (epoch-numbered, atomically
+// published).  resize() — serialized by a mutex, run entirely on the
+// calling thread — builds the destination table, links it as the source
+// table's `next`, then migrates bucket by bucket:
+//
+//   freeze(source bucket)  -> collect live (key, value-copy) pairs
+//   migrate_in(dest shard) -> node + cell allocated in the DEST domain
+//   migrated[bucket] = 1   -> waiters may proceed to the next table
+//   drain(source bucket)   -> node + cell retired in the SOURCE domain
+//
+// Migration COPIES instead of re-linking because blocks are stamped and
+// scanned by the domain (tracker) that allocated them: a node re-linked
+// into another shard would be invisible to its allocator's reservation
+// scans and doubly visible to nobody — the copy keeps both domains'
+// ledgers closed (see ResizeRecord).
+//
+// Concurrent operations route through the current table; any op that
+// observes a freeze bit aborts session-cleanly (no state change), spins
+// on the bucket's migrated flag OUTSIDE any tracker session, and
+// re-executes against table->next.  Each key freezes in exactly one
+// source bucket and becomes writable in the destination only after that
+// bucket's flag is set, so per-key linearizability survives the hop.
+// The migrator itself never waits on other threads, so the store can't
+// deadlock; ops block at most for the copy of one bucket.
+//
+// Table reclamation is hazard-era-flavored, self-similar to the paper:
+// every op announces the current table EPOCH before loading the table
+// pointer (seq_cst publish, then load — the HP StoreLoad discipline);
+// a retired table is freed only when every announcement is idle or
+// newer than its epoch.  Because epochs are monotone and a thread only
+// ever forwards to HIGHER-epoch tables, one announcement covers the
+// whole forwarding chain the thread can reach.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -24,6 +65,7 @@
 #include "kv/shard.hpp"
 #include "kv/stats.hpp"
 #include "reclaim/tracker.hpp"
+#include "util/stats.hpp"
 
 namespace wfe::kv {
 
@@ -34,6 +76,14 @@ struct KvConfig {
   /// the store-wide tid space, retire_batch the per-thread burst size
   /// handed to retire() in one go (see kv/batch_retire.hpp).
   reclaim::TrackerConfig tracker;
+  /// Load-factor-triggered auto-grow: when > 0, a write that observes
+  /// approx_size() > factor * (shards * buckets_per_shard) doubles the
+  /// shard count (up to auto_grow_max_shards), running the migration on
+  /// the writing thread.  0 disables; resize() stays available either way.
+  double auto_grow_load_factor = 0.0;
+  std::size_t auto_grow_max_shards = 256;
+  /// Writes between auto-grow checks, per thread (power of two).
+  unsigned auto_grow_check_interval = 512;
 };
 
 template <class K, class V, reclaim::tracker_for Tracker>
@@ -43,42 +93,104 @@ class KvStore {
   static constexpr unsigned kSlotsNeeded = ShardT::kSlotsNeeded;
 
   explicit KvStore(const KvConfig& cfg)
-      : shard_mask_(ds::round_up_pow2(cfg.shards) - 1) {
-    shards_.reserve(shard_mask_ + 1);
-    for (std::size_t i = 0; i <= shard_mask_; ++i) {
-      reclaim::TrackerConfig tc = cfg.tracker;
-      tc.domain_id = static_cast<unsigned>(i);
-      shards_.push_back(
-          std::make_unique<ShardT>(tc, cfg.buckets_per_shard));
+      : cfg_(cfg),
+        announce_(cfg.tracker.max_threads),
+        counters_(cfg.tracker.max_threads),
+        grow_ticks_(cfg.tracker.max_threads) {
+    cfg_.shards = ds::round_up_pow2(std::max<std::size_t>(1, cfg.shards));
+    cfg_.buckets_per_shard =
+        ds::round_up_pow2(std::max<std::size_t>(1, cfg.buckets_per_shard));
+    cfg_.auto_grow_check_interval = static_cast<unsigned>(ds::round_up_pow2(
+        std::max<std::size_t>(1, cfg.auto_grow_check_interval)));
+    for (unsigned t = 0; t < cfg_.tracker.max_threads; ++t) {
+      announce_[t].store(kIdle, std::memory_order_relaxed);
+      grow_ticks_[t] = 0;
     }
+    tables_.push_back(make_table(cfg_.shards, /*epoch=*/1));
+    table_.store(tables_.back().get(), std::memory_order_release);
+    epoch_.store(1, std::memory_order_release);
   }
 
+  ~KvStore() = default;  // tables_ owns every table; trackers drain last
+
   std::optional<V> get(const K& key, unsigned tid) {
-    return shard(key).get(key, tid);
+    TableGuard g(*this, tid);
+    Table* t = g.table;
+    std::optional<V> out;
+    while (!shard_in(*t, key).try_get(key, tid, out))
+      t = wait_forward(*t, key, tid);
+    return out;
   }
+
   bool contains(const K& key, unsigned tid) {
-    return shard(key).contains(key, tid);
+    return get(key, tid).has_value();
   }
+
   /// Insert-or-replace, in place (atomic value-cell swap on present
   /// keys); true when the key was absent.
   bool put(const K& key, const V& value, unsigned tid) {
-    return shard(key).put(key, value, tid);
+    bool was_absent = false;
+    {
+      TableGuard g(*this, tid);
+      Table* t = g.table;
+      while (!shard_in(*t, key).try_put(key, value, tid, was_absent))
+        t = wait_forward(*t, key, tid);
+    }
+    if (was_absent) counters_.inc(kNetInserts, tid);
+    maybe_auto_grow(tid);
+    return was_absent;
   }
+
   /// Remove+re-insert upsert: the pre-value-cell baseline, kept so the
-  /// bench can put a number on what in-place replacement saves.
+  /// bench can put a number on what in-place replacement saves.  The
+  /// "was absent" answer accumulates across forwarded tables.
   bool put_copy(const K& key, const V& value, unsigned tid) {
-    return shard(key).put_copy(key, value, tid);
+    bool saw_present = false;
+    {
+      TableGuard g(*this, tid);
+      Table* t = g.table;
+      while (!shard_in(*t, key).try_put_copy(key, value, tid, saw_present))
+        t = wait_forward(*t, key, tid);
+    }
+    if (!saw_present) counters_.inc(kNetInserts, tid);
+    maybe_auto_grow(tid);
+    return !saw_present;
   }
+
   /// Insert-if-absent; false (no write) when present.
   bool insert(const K& key, const V& value, unsigned tid) {
-    return shard(key).insert(key, value, tid);
+    bool inserted = false;
+    {
+      TableGuard g(*this, tid);
+      Table* t = g.table;
+      while (!shard_in(*t, key).try_insert(key, value, tid, inserted))
+        t = wait_forward(*t, key, tid);
+    }
+    if (inserted) counters_.inc(kNetInserts, tid);
+    maybe_auto_grow(tid);
+    return inserted;
   }
+
   /// Replace-if-present; false (no write) when absent.
   bool update(const K& key, const V& value, unsigned tid) {
-    return shard(key).update(key, value, tid);
+    TableGuard g(*this, tid);
+    Table* t = g.table;
+    bool updated = false;
+    while (!shard_in(*t, key).try_update(key, value, tid, updated))
+      t = wait_forward(*t, key, tid);
+    return updated;
   }
+
   std::optional<V> remove(const K& key, unsigned tid) {
-    return shard(key).remove(key, tid);
+    std::optional<V> out;
+    {
+      TableGuard g(*this, tid);
+      Table* t = g.table;
+      while (!shard_in(*t, key).try_remove(key, tid, out))
+        t = wait_forward(*t, key, tid);
+    }
+    if (out.has_value()) counters_.inc(kNetRemoves, tid);
+    return out;
   }
 
   // ---- cross-shard multi-ops: group a span of keys by shard with one
@@ -86,19 +198,34 @@ class KvStore {
   // session (one begin_op/end_op, reservation publishing amortized over
   // the group; retires ride the shard's BatchedTracker bursts as usual).
   // Results land at the positions of their keys, so callers see plain
-  // positional semantics.  This is the API a future async front-end
-  // issues pipelined request batches through. ----
+  // positional semantics.  Keys whose bucket is mid-migration are
+  // deferred out of the session and re-dispatched — regrouped — against
+  // the forwarded table. ----
 
   /// Point lookups for keys[0..n); out[i] receives the result for
   /// keys[i].  Keys may repeat and may hit any mix of shards.
   void multi_get(const K* keys, std::size_t n, std::optional<V>* out,
                  unsigned tid) {
     if (n == 0) return;
+    TableGuard g(*this, tid);
+    Table* t = g.table;
     static thread_local ShardPlan plan;  // scratch: reused across calls
-    group_by_shard(plan, n, [&](std::size_t i) { return shard_index(keys[i]); });
-    for (std::size_t s = 0; s <= shard_mask_; ++s) {
-      const std::size_t b = s == 0 ? 0 : plan.start[s - 1], e = plan.start[s];
-      if (b != e) shards_[s]->multi_get(keys, plan.order.data() + b, e - b, out, tid);
+    static thread_local std::vector<std::uint32_t> pend, defer;
+    pend.resize(n);
+    for (std::size_t i = 0; i < n; ++i) pend[i] = static_cast<std::uint32_t>(i);
+    for (;;) {
+      group_subset(plan, *t, pend,
+                   [&](std::uint32_t i) { return shard_index_in(*t, keys[i]); });
+      defer.clear();
+      for (std::size_t s = 0; s <= t->mask; ++s) {
+        const std::size_t b = s == 0 ? 0 : plan.start[s - 1], e = plan.start[s];
+        if (b != e)
+          t->shards[s]->multi_get(keys, plan.order.data() + b, e - b, out, tid,
+                                  defer);
+      }
+      if (defer.empty()) return;
+      t = wait_forward_all(*t, keys, defer, tid);
+      pend.swap(defer);
     }
   }
 
@@ -116,15 +243,38 @@ class KvStore {
   std::size_t multi_put(const std::pair<K, V>* ops, std::size_t n,
                         unsigned tid) {
     if (n == 0) return 0;
-    static thread_local ShardPlan plan;  // scratch: reused across calls
-    group_by_shard(plan, n,
-                   [&](std::size_t i) { return shard_index(ops[i].first); });
     std::size_t inserted = 0;
-    for (std::size_t s = 0; s <= shard_mask_; ++s) {
-      const std::size_t b = s == 0 ? 0 : plan.start[s - 1], e = plan.start[s];
-      if (b != e)
-        inserted += shards_[s]->multi_put(ops, plan.order.data() + b, e - b, tid);
+    {
+      TableGuard g(*this, tid);
+      Table* t = g.table;
+      static thread_local ShardPlan plan;  // scratch: reused across calls
+      static thread_local std::vector<std::uint32_t> pend, defer;
+      pend.resize(n);
+      for (std::size_t i = 0; i < n; ++i)
+        pend[i] = static_cast<std::uint32_t>(i);
+      for (;;) {
+        group_subset(plan, *t, pend, [&](std::uint32_t i) {
+          return shard_index_in(*t, ops[i].first);
+        });
+        defer.clear();
+        for (std::size_t s = 0; s <= t->mask; ++s) {
+          const std::size_t b = s == 0 ? 0 : plan.start[s - 1],
+                            e = plan.start[s];
+          if (b != e)
+            inserted += t->shards[s]->multi_put(ops, plan.order.data() + b,
+                                                e - b, tid, defer);
+        }
+        if (defer.empty()) break;
+        t = wait_forward_all(
+            *t, /*key_of=*/[&](std::uint32_t i) -> const K& {
+              return ops[i].first;
+            },
+            defer, tid);
+        pend.swap(defer);
+      }
     }
+    counters_.inc(kNetInserts, tid, inserted);
+    maybe_auto_grow(tid);
     return inserted;
   }
 
@@ -132,75 +282,334 @@ class KvStore {
     return multi_put(ops.data(), ops.size(), tid);
   }
 
-  std::size_t shard_count() const noexcept { return shard_mask_ + 1; }
+  // ---- online resharding ----
 
-  /// Shard a key routes to (distribution tests, targeted flushes).
-  std::size_t shard_index(const K& key) const noexcept {
-    // High bits of the same hash whose low bits pick the bucket.
-    const std::uint64_t h = ds::hash_key(static_cast<std::uint64_t>(key));
-    return static_cast<std::size_t>(h >> 32) & shard_mask_;
+  /// Migrates every key into a fresh table of `new_shards` (rounded up
+  /// to a power of two) shards, concurrently with readers and writers.
+  /// Runs entirely on the calling thread; concurrent resizes serialize.
+  /// Returns false (no-op) when the rounded count equals the current one.
+  bool resize(std::size_t new_shards, unsigned tid) {
+    const std::size_t want =
+        ds::round_up_pow2(std::max<std::size_t>(1, new_shards));
+    std::lock_guard<std::mutex> lk(resize_mu_);
+    return resize_locked(want, tid);
   }
 
-  ShardT& shard_at(std::size_t i) noexcept { return *shards_[i]; }
-  const ShardT& shard_at(std::size_t i) const noexcept { return *shards_[i]; }
+  std::size_t shard_count() const noexcept {
+    return table_.load(std::memory_order_acquire)->mask + 1;
+  }
+
+  /// Current table's epoch: 1 + number of completed resizes this
+  /// lineage; grows monotonically.
+  std::uint64_t table_epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Tables currently alive (current + retired-but-still-announced).
+  /// 1 means every superseded table has been reclaimed.
+  std::size_t live_table_count() const {
+    std::lock_guard<std::mutex> lk(resize_mu_);
+    return tables_.size();
+  }
+
+  /// Net inserts minus net removes (racy relaxed sum): the size signal
+  /// the auto-grow trigger uses.
+  std::size_t approx_size() const noexcept {
+    const std::uint64_t ins = counters_.sum(kNetInserts);
+    const std::uint64_t rem = counters_.sum(kNetRemoves);
+    return ins > rem ? static_cast<std::size_t>(ins - rem) : 0;
+  }
+
+  /// Shard a key routes to in the CURRENT table (distribution tests,
+  /// targeted flushes; racy against a concurrent resize).
+  std::size_t shard_index(const K& key) const noexcept {
+    return shard_index_in(*table_.load(std::memory_order_acquire), key);
+  }
+
+  ShardT& shard_at(std::size_t i) noexcept {
+    return *table_.load(std::memory_order_acquire)->shards[i];
+  }
+  const ShardT& shard_at(std::size_t i) const noexcept {
+    return *table_.load(std::memory_order_acquire)->shards[i];
+  }
 
   /// Quiescent total size across shards (test/ops helper).
   std::size_t size_unsafe() const noexcept {
+    const Table* t = table_.load(std::memory_order_acquire);
     std::size_t n = 0;
-    for (const auto& s : shards_) n += s->size_unsafe();
+    for (const auto& s : t->shards) n += s->size_unsafe();
     return n;
   }
 
   /// Quiescent iteration over every (key, value) pair, shard by shard.
   template <class Fn>
   void for_each_unsafe(Fn&& fn) const {
-    for (const auto& s : shards_) s->for_each_unsafe(fn);
+    const Table* t = table_.load(std::memory_order_acquire);
+    for (const auto& s : t->shards) s->for_each_unsafe(fn);
   }
 
   /// Hand `tid`'s buffered retire bursts in every shard to the domain
-  /// trackers (call before a thread goes idle for a long time).
+  /// trackers (call before a thread goes idle for a long time).  Also a
+  /// table-reclamation point: a superseded table that was still
+  /// announced at the end-of-resize scan gets another chance here.
   void flush_retired(unsigned tid) noexcept {
-    for (auto& s : shards_) s->flush_retired(tid);
+    {
+      TableGuard g(*this, tid);
+      for (auto& s : g.table->shards) s->flush_retired(tid);
+    }
+    collect_retired_tables();  // after the guard: our announce is idle
+  }
+
+  /// Frees superseded tables no announcement still covers (no-op when a
+  /// resize is in flight — that resize scans on completion anyway).
+  void collect_retired_tables() noexcept {
+    if (!resize_mu_.try_lock()) return;
+    std::lock_guard<std::mutex> lk(resize_mu_, std::adopt_lock);
+    scan_tables_locked();
   }
 
   KvStats stats() const {
     KvStats st;
-    st.shards.reserve(shards_.size());
-    for (const auto& s : shards_) st.shards.push_back(s->stats());
+    {
+      std::lock_guard<std::mutex> lk(resize_mu_);
+      const Table* t = table_.load(std::memory_order_acquire);
+      st.shards.reserve(t->shards.size());
+      for (const auto& s : t->shards) st.shards.push_back(s->stats());
+      st.table_epoch = t->epoch;
+      st.shard_count = t->mask + 1;
+      st.resizes = history_;
+    }
+    st.resize_epochs = resize_epochs_.load(std::memory_order_relaxed);
+    st.migrated_keys = migrated_keys_.load(std::memory_order_relaxed);
+    st.forwarded_ops = counters_.sum(kForwarded);
     return st;
   }
 
  private:
-  ShardT& shard(const K& key) noexcept { return *shards_[shard_index(key)]; }
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
 
-  /// Counting-sort grouping for multi-ops.  After the call, shard s's
-  /// batch indices sit at order[b .. start[s]) with b = start[s-1] (0
-  /// for shard 0), in their original relative order (stable): start[s]
-  /// begins as shard s's first offset and is bumped once per placed
-  /// element, ending as its end offset — no separate cursor array.
+  struct Table {
+    std::uint64_t epoch;
+    std::size_t mask;     ///< shard_count - 1
+    std::size_t buckets;  ///< per shard
+    std::vector<std::unique_ptr<ShardT>> shards;
+    /// One flag per (shard, bucket): 1 = every live pair of that source
+    /// bucket is present in `next`; waiters proceed there.
+    std::vector<std::unique_ptr<std::atomic<std::uint8_t>[]>> migrated;
+    std::atomic<Table*> next{nullptr};  ///< forwarding target while/after migration
+  };
+
+  /// Epoch announcement bracket around every operation: publish the
+  /// current epoch (seq_cst), THEN load the table pointer (the HP
+  /// publish-validate discipline: a table is retired only after table_
+  /// is repointed, so a load that still returns it happened before any
+  /// scan that could free it — and that scan sees our announcement).
+  struct TableGuard {
+    KvStore& store;
+    unsigned tid;
+    Table* table;
+
+    TableGuard(KvStore& s, unsigned t) : store(s), tid(t) {
+      const std::uint64_t e = s.epoch_.load(std::memory_order_acquire);
+      s.announce_[t].store(e, std::memory_order_seq_cst);
+      table = s.table_.load(std::memory_order_seq_cst);
+    }
+    ~TableGuard() { store.announce_[tid].store(kIdle, std::memory_order_release); }
+  };
+  friend struct TableGuard;
+
+  std::unique_ptr<Table> make_table(std::size_t shards, std::uint64_t epoch) {
+    auto t = std::make_unique<Table>();
+    t->epoch = epoch;
+    t->mask = shards - 1;
+    t->buckets = cfg_.buckets_per_shard;
+    t->shards.reserve(shards);
+    t->migrated.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      reclaim::TrackerConfig tc = cfg_.tracker;
+      tc.domain_id = static_cast<unsigned>(i);
+      t->shards.push_back(std::make_unique<ShardT>(tc, t->buckets));
+      auto flags = std::make_unique<std::atomic<std::uint8_t>[]>(t->buckets);
+      for (std::size_t b = 0; b < t->buckets; ++b)
+        flags[b].store(0, std::memory_order_relaxed);
+      t->migrated.push_back(std::move(flags));
+    }
+    return t;
+  }
+
+  std::size_t shard_index_in(const Table& t, const K& key) const noexcept {
+    // High bits of the same hash whose low bits pick the bucket.
+    const std::uint64_t h = ds::hash_key(static_cast<std::uint64_t>(key));
+    return static_cast<std::size_t>(h >> 32) & t.mask;
+  }
+
+  ShardT& shard_in(Table& t, const K& key) noexcept {
+    return *t.shards[shard_index_in(t, key)];
+  }
+
+  /// The op observed a frozen bucket: spin (outside any tracker session)
+  /// until that bucket's live pairs are all present in the next table,
+  /// then retry there.
+  Table* wait_forward(Table& t, const K& key, unsigned tid) {
+    counters_.inc(kForwarded, tid);
+    const std::size_t s = shard_index_in(t, key);
+    const std::size_t b = t.shards[s]->bucket_index(key);
+    wait_bucket(t, s, b);
+    return t.next.load(std::memory_order_acquire);
+  }
+
+  /// Multi-op flavor: wait for EVERY deferred key's bucket, then step
+  /// the whole remainder one table forward.  `key_of` maps a batch
+  /// index to its key (identity-array and op-pair callers).
+  template <class KeyOf>
+  Table* wait_forward_all(Table& t, KeyOf&& key_of,
+                          const std::vector<std::uint32_t>& deferred,
+                          unsigned tid) {
+    counters_.inc(kForwarded, tid, deferred.size());
+    for (const std::uint32_t i : deferred) {
+      const K& key = key_of(i);
+      const std::size_t s = shard_index_in(t, key);
+      wait_bucket(t, s, t.shards[s]->bucket_index(key));
+    }
+    return t.next.load(std::memory_order_acquire);
+  }
+  Table* wait_forward_all(Table& t, const K* keys,
+                          const std::vector<std::uint32_t>& deferred,
+                          unsigned tid) {
+    return wait_forward_all(
+        t, [&](std::uint32_t i) -> const K& { return keys[i]; }, deferred, tid);
+  }
+
+  void wait_bucket(Table& t, std::size_t s, std::size_t b) {
+    auto& flag = t.migrated[s][b];
+    while (flag.load(std::memory_order_acquire) == 0) std::this_thread::yield();
+  }
+
+  /// Counting-sort grouping for multi-ops over an index SUBSET (the
+  /// not-yet-completed remainder of a batch).  After the call, shard
+  /// s's batch indices sit at order[b .. start[s]) with b = start[s-1]
+  /// (0 for shard 0), in their original relative order (stable).
   struct ShardPlan {
     std::vector<std::uint32_t> shard_of, order;
     std::vector<std::size_t> start;
   };
 
   template <class ShardOf>
-  void group_by_shard(ShardPlan& plan, std::size_t n, ShardOf&& shard_of) {
+  void group_subset(ShardPlan& plan, const Table& t,
+                    const std::vector<std::uint32_t>& items,
+                    ShardOf&& shard_of) {
+    const std::size_t n = items.size();
     plan.shard_of.resize(n);
     plan.order.resize(n);
-    plan.start.assign(shard_mask_ + 2, 0);
+    plan.start.assign(t.mask + 2, 0);
     for (std::size_t i = 0; i < n; ++i) {
-      const auto s = static_cast<std::uint32_t>(shard_of(i));
+      const auto s = static_cast<std::uint32_t>(shard_of(items[i]));
       plan.shard_of[i] = s;
       ++plan.start[s + 1];
     }
-    for (std::size_t s = 1; s <= shard_mask_ + 1; ++s)
+    for (std::size_t s = 1; s <= t.mask + 1; ++s)
       plan.start[s] += plan.start[s - 1];
     for (std::size_t i = 0; i < n; ++i)
-      plan.order[plan.start[plan.shard_of[i]]++] = static_cast<std::uint32_t>(i);
+      plan.order[plan.start[plan.shard_of[i]]++] = items[i];
   }
 
-  std::size_t shard_mask_;
-  std::vector<std::unique_ptr<ShardT>> shards_;
+  /// Core migration; caller holds resize_mu_.
+  bool resize_locked(std::size_t want, unsigned tid) {
+    Table* src = table_.load(std::memory_order_acquire);
+    if (src->mask + 1 == want) return false;
+    tables_.push_back(make_table(want, src->epoch + 1));
+    Table* dst = tables_.back().get();
+    src->next.store(dst, std::memory_order_release);
+
+    ResizeRecord rec;
+    rec.epoch = dst->epoch;
+    rec.from_shards = src->mask + 1;
+    rec.to_shards = want;
+    std::vector<std::pair<K, V>> pairs;
+    std::vector<bool> node_live;
+    for (std::size_t s = 0; s <= src->mask; ++s) {
+      ShardT& sh = *src->shards[s];
+      for (std::size_t b = 0; b < src->buckets; ++b) {
+        pairs.clear();
+        node_live.clear();
+        sh.freeze_collect_bucket(b, tid, pairs, node_live);
+        for (const auto& [k, v] : pairs)
+          dst->shards[shard_index_in(*dst, k)]->migrate_in(k, v, tid);
+        src->migrated[s][b].store(1, std::memory_order_release);
+        const auto [nodes, cells] = sh.drain_bucket(b, tid, node_live);
+        rec.migrated_keys += pairs.size();
+        rec.nodes_retired += nodes;
+        rec.cells_retired += cells;
+      }
+      // The source domain goes cold: hand it the migrator's buffered
+      // retires now so its backlog can drain before teardown.
+      sh.flush_retired(tid);
+    }
+
+    table_.store(dst, std::memory_order_seq_cst);  // promote
+    epoch_.store(dst->epoch, std::memory_order_release);
+    migrated_keys_.fetch_add(rec.migrated_keys, std::memory_order_relaxed);
+    resize_epochs_.fetch_add(1, std::memory_order_relaxed);
+    history_.push_back(rec);
+    scan_tables_locked();
+    return true;
+  }
+
+  /// Frees superseded tables no announcement still covers: a thread
+  /// announcing epoch e may traverse the table of epoch e and — by
+  /// forwarding — any LATER one, never an earlier one, so a retired
+  /// table is reclaimable exactly when every announcement is idle or
+  /// strictly newer than its epoch.
+  void scan_tables_locked() {
+    std::uint64_t min_epoch = kIdle;
+    for (unsigned t = 0; t < announce_.size(); ++t)
+      min_epoch = std::min(min_epoch, announce_[t].load(std::memory_order_seq_cst));
+    const Table* cur = table_.load(std::memory_order_acquire);
+    std::erase_if(tables_, [&](const std::unique_ptr<Table>& t) {
+      return t.get() != cur && t->epoch < min_epoch;
+    });
+  }
+
+  /// Load-factor check on the write path: every
+  /// auto_grow_check_interval-th write per thread compares approx_size()
+  /// with the current table's capacity and doubles the shard count when
+  /// it overflows.  The whole check runs under resize_mu_ (try_lock: a
+  /// resize already in flight makes this write's check moot) — the
+  /// caller's TableGuard is gone by now, and only the mutex keeps the
+  /// table scan from freeing the table this dereferences.
+  void maybe_auto_grow(unsigned tid) {
+    if (cfg_.auto_grow_load_factor <= 0.0) return;
+    unsigned& ticks = grow_ticks_[tid];  // per-instance, owner-thread-only
+    if ((++ticks & (cfg_.auto_grow_check_interval - 1)) != 0) return;
+    if (!resize_mu_.try_lock()) return;
+    std::lock_guard<std::mutex> lk(resize_mu_, std::adopt_lock);
+    const Table* t = table_.load(std::memory_order_acquire);
+    const std::size_t shards = t->mask + 1;
+    if (shards >= cfg_.auto_grow_max_shards) return;
+    const double capacity =
+        static_cast<double>(shards) * static_cast<double>(t->buckets);
+    if (static_cast<double>(approx_size()) <=
+        cfg_.auto_grow_load_factor * capacity)
+      return;
+    resize_locked(shards * 2, tid);
+  }
+
+  KvConfig cfg_;
+  std::atomic<Table*> table_{nullptr};
+  std::atomic<std::uint64_t> epoch_{0};
+  /// Per-thread table-epoch announcements (kIdle when not in an op).
+  reclaim::detail::PerThread<std::atomic<std::uint64_t>> announce_;
+
+  mutable std::mutex resize_mu_;  ///< serializes resize; guards tables_, history_
+  std::vector<std::unique_ptr<Table>> tables_;  ///< owns current + retired
+  std::vector<ResizeRecord> history_;
+
+  enum Lane : unsigned { kForwarded, kNetInserts, kNetRemoves, kLanes };
+  util::PerThreadCounters<kLanes> counters_;
+  /// Per-thread write ticks for the auto-grow cadence (owner-written).
+  reclaim::detail::PerThread<unsigned> grow_ticks_;
+  std::atomic<std::uint64_t> migrated_keys_{0};
+  std::atomic<std::uint64_t> resize_epochs_{0};
 };
 
 }  // namespace wfe::kv

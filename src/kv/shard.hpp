@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "ds/hash_map.hpp"
 #include "kv/batch_retire.hpp"
@@ -84,37 +85,143 @@ class Shard {
     return map_.remove(key, tid);
   }
 
+  // ---- freeze-aware variants (kv resharding): false = the key's bucket
+  // is frozen and NOTHING happened; the store waits for the bucket's
+  // migration flag and re-executes against the destination table.  Op
+  // counters tick only on completion, so shard stats never double-count
+  // a forwarded attempt (the store counts those as forwarded_ops). ----
+
+  bool try_get(const K& key, unsigned tid, std::optional<V>& out) {
+    if (!map_.try_get(key, tid, out)) return false;
+    ops_.inc(kGet, tid);
+    return true;
+  }
+  bool try_contains(const K& key, unsigned tid, bool& present) {
+    std::optional<V> out;
+    if (!try_get(key, tid, out)) return false;
+    present = out.has_value();
+    return true;
+  }
+  bool try_insert(const K& key, const V& value, unsigned tid, bool& inserted) {
+    if (!map_.try_insert(key, value, tid, inserted)) return false;
+    ops_.inc(kPut, tid);
+    return true;
+  }
+  bool try_put(const K& key, const V& value, unsigned tid, bool& was_absent) {
+    if (!map_.try_put(key, value, tid, was_absent)) return false;
+    ops_.inc(kPut, tid);
+    if (!was_absent) ops_.inc(kCellRetire, tid);
+    return true;
+  }
+  /// Remove+re-insert upsert half.  `saw_present` accumulates across
+  /// forwards: the store's overall "was absent" answer must remember a
+  /// presence observed in THIS table even when the re-insert is forced
+  /// over to the destination by a freeze.
+  bool try_put_copy(const K& key, const V& value, unsigned tid,
+                    bool& saw_present) {
+    for (;;) {
+      bool inserted = false;
+      if (!map_.try_insert(key, value, tid, inserted)) return false;
+      if (inserted) {
+        ops_.inc(kPut, tid);
+        return true;
+      }
+      saw_present = true;
+      std::optional<V> dropped;
+      if (!map_.try_remove(key, tid, dropped)) return false;
+    }
+  }
+  bool try_update(const K& key, const V& value, unsigned tid, bool& updated) {
+    if (!map_.try_update(key, value, tid, updated)) return false;
+    ops_.inc(kUpdate, tid);
+    if (updated) ops_.inc(kCellRetire, tid);
+    return true;
+  }
+  bool try_remove(const K& key, unsigned tid, std::optional<V>& out) {
+    if (!map_.try_remove(key, tid, out)) return false;
+    ops_.inc(kRemove, tid);
+    return true;
+  }
+
   // ---- shard-local halves of the store's cross-shard multi-ops: the
   // caller hands this shard its slice of the batch (positions `idx` into
   // the caller's arrays); the whole slice runs in ONE tracker session
   // (begin_op/end_op once), so epoch publishing, and for QSBR the
-  // quiescence announcement, amortize over the group. ----
+  // quiescence announcement, amortize over the group.  Keys whose bucket
+  // is frozen are appended to `deferred` (their out slot untouched)
+  // instead of blocking inside the session — the store re-dispatches
+  // them against the destination table. ----
 
   void multi_get(const K* keys, const std::uint32_t* idx, std::size_t n,
-                 std::optional<V>* out, unsigned tid) {
-    ops_.inc(kGet, tid, n);
-    ops_.inc(kBatched, tid, n);
+                 std::optional<V>* out, unsigned tid,
+                 std::vector<std::uint32_t>& deferred) {
+    std::size_t done = 0;
     batched_.begin_op(tid);
-    for (std::size_t i = 0; i < n; ++i)
-      out[idx[i]] = map_.get_in_op(keys[idx[i]], tid);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::optional<V> v;
+      if (map_.try_get_in_op(keys[idx[i]], tid, v)) {
+        out[idx[i]] = std::move(v);
+        ++done;
+      } else {
+        deferred.push_back(idx[i]);
+      }
+    }
     batched_.end_op(tid);
+    ops_.inc(kGet, tid, done);
+    ops_.inc(kBatched, tid, done);
   }
 
   /// In-place upserts for this shard's slice; returns how many keys were
-  /// newly inserted (the rest were replaced in place).
+  /// newly inserted (the rest were replaced in place, minus deferrals).
   std::size_t multi_put(const std::pair<K, V>* ops, const std::uint32_t* idx,
-                        std::size_t n, unsigned tid) {
-    ops_.inc(kPut, tid, n);
-    ops_.inc(kBatched, tid, n);
-    std::size_t inserted = 0;
+                        std::size_t n, unsigned tid,
+                        std::vector<std::uint32_t>& deferred) {
+    std::size_t inserted = 0, done = 0;
     batched_.begin_op(tid);
     for (std::size_t i = 0; i < n; ++i) {
       const auto& [k, v] = ops[idx[i]];
-      if (map_.put_in_op(k, v, tid)) ++inserted;
+      bool was_absent = false;
+      if (map_.try_put_in_op(k, v, tid, was_absent)) {
+        ++done;
+        if (was_absent) ++inserted;
+      } else {
+        deferred.push_back(idx[i]);
+      }
     }
     batched_.end_op(tid);
-    ops_.inc(kCellRetire, tid, n - inserted);
+    ops_.inc(kPut, tid, done);
+    ops_.inc(kBatched, tid, done);
+    ops_.inc(kCellRetire, tid, done - inserted);
     return inserted;
+  }
+
+  // ---- migration halves (kv resharding) ----
+
+  /// Bucket a key routes to inside this shard (forward-wait addressing).
+  std::size_t bucket_index(const K& key) const noexcept {
+    return map_.bucket_index(key);
+  }
+
+  /// Destination-side copy: allocate the key's node and value cell in
+  /// THIS shard's domain.  Not a user op — counted in its own lane, and
+  /// the key is always absent here (each key migrates exactly once).
+  void migrate_in(const K& key, const V& value, unsigned tid) {
+    ops_.inc(kMigratedIn, tid);
+    map_.insert(key, value, tid);
+  }
+
+  /// Source-side: freeze bucket `b` and collect its live pairs.
+  void freeze_collect_bucket(std::size_t b, unsigned tid,
+                             std::vector<std::pair<K, V>>& pairs,
+                             std::vector<bool>& node_live) {
+    map_.freeze_and_collect(b, tid, pairs, node_live);
+  }
+
+  /// Source-side: pop the frozen bucket and retire its blocks in this
+  /// shard's domain; returns {nodes, cells} retired.
+  std::pair<std::size_t, std::size_t> drain_bucket(
+      std::size_t b, unsigned tid, const std::vector<bool>& node_live) {
+    return map_.drain_frozen(b, tid, node_live);
   }
 
   std::size_t size_unsafe() const noexcept { return map_.size_unsafe(); }
@@ -149,11 +256,14 @@ class Shard {
       s.slow_path_entries = tracker_.slow_path_entries();
     s.value_cell_retires = ops_.sum(kCellRetire);
     s.batched_ops = ops_.sum(kBatched);
+    s.migrated_in = ops_.sum(kMigratedIn);
     return s;
   }
 
  private:
-  enum OpLane : unsigned { kGet, kPut, kRemove, kUpdate, kCellRetire, kBatched, kLanes };
+  enum OpLane : unsigned {
+    kGet, kPut, kRemove, kUpdate, kCellRetire, kBatched, kMigratedIn, kLanes
+  };
 
   Tracker tracker_;  ///< the shard's reclamation domain
   Facade batched_;

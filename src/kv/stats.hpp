@@ -42,12 +42,39 @@ struct ShardStats {
   /// Operations that arrived through multi_get/multi_put (grouped into
   /// one tracker session per shard).
   std::uint64_t batched_ops = 0;
+  /// Keys copied INTO this shard by a resize migration (allocated in
+  /// this shard's domain; not user puts).
+  std::uint64_t migrated_in = 0;
 
   std::uint64_t ops() const noexcept { return gets + puts + removes + updates; }
 };
 
+/// Ledger of one completed resize: every source-domain retire of the
+/// migration is accounted here.  The closing identities (asserted by the
+/// reshard suites): cells_retired == migrated_keys (exactly the live
+/// cells copied) and nodes_retired >= migrated_keys (dead nodes whose
+/// removers could not unlink past the freeze are drained too).
+struct ResizeRecord {
+  std::uint64_t epoch = 0;        ///< table epoch created by this resize
+  std::uint64_t from_shards = 0;
+  std::uint64_t to_shards = 0;
+  std::uint64_t migrated_keys = 0;   ///< live pairs copied to the new table
+  std::uint64_t nodes_retired = 0;   ///< source-domain node retires (drain)
+  std::uint64_t cells_retired = 0;   ///< source-domain cell retires (drain)
+};
+
 struct KvStats {
-  std::vector<ShardStats> shards;
+  std::vector<ShardStats> shards;  ///< the CURRENT table's shards
+
+  // ---- store-level resharding counters ----
+  std::uint64_t table_epoch = 0;     ///< current table's epoch (1 = initial)
+  std::uint64_t shard_count = 0;     ///< current table's shard count
+  std::uint64_t resize_epochs = 0;   ///< completed resizes
+  std::uint64_t migrated_keys = 0;   ///< keys copied across all resizes
+  /// Operations that observed a frozen bucket (or a table promoted under
+  /// them) and re-executed against a forwarded table.
+  std::uint64_t forwarded_ops = 0;
+  std::vector<ResizeRecord> resizes; ///< one ledger entry per resize
 
   ShardStats total() const noexcept {
     ShardStats t;
@@ -66,6 +93,7 @@ struct KvStats {
       t.slow_path_entries += s.slow_path_entries;
       t.value_cell_retires += s.value_cell_retires;
       t.batched_ops += s.batched_ops;
+      t.migrated_in += s.migrated_in;
     }
     return t;
   }
@@ -90,6 +118,19 @@ inline void to_json(util::JsonWriter& j, const ShardStats& s) {
   j.kv("slow_path_entries", s.slow_path_entries);
   j.kv("value_cell_retires", s.value_cell_retires);
   j.kv("batched_ops", s.batched_ops);
+  j.kv("migrated_in", s.migrated_in);
+  j.end_object();
+}
+
+/// Serializes one resize ledger entry (bench resize sweep rows).
+inline void to_json(util::JsonWriter& j, const ResizeRecord& r) {
+  j.begin_object();
+  j.kv("epoch", r.epoch);
+  j.kv("from_shards", r.from_shards);
+  j.kv("to_shards", r.to_shards);
+  j.kv("migrated_keys", r.migrated_keys);
+  j.kv("nodes_retired", r.nodes_retired);
+  j.kv("cells_retired", r.cells_retired);
   j.end_object();
 }
 

@@ -14,6 +14,13 @@ inline constexpr std::uintptr_t kMarkBit = 0x1;  // Harris mark / BST flag
 inline constexpr std::uintptr_t kTagBit = 0x2;   // BST tag
 inline constexpr std::uintptr_t kPtrBits = ~std::uintptr_t{0x3};
 
+/// Bucket-freeze bit (kv resharding).  The Harris-Michael list never uses
+/// the BST's tag bit, so the same physical bit doubles as "this word
+/// belongs to a frozen bucket": every writer CAS expects an unfrozen
+/// word, so freezing a word makes all further mutation CASes fail, while
+/// strip()/unpack_ptr() already discard it on reads.
+inline constexpr std::uintptr_t kFreezeBit = kTagBit;
+
 template <class T>
 constexpr std::uintptr_t pack_ptr(T* p, std::uintptr_t bits = 0) noexcept {
   return reinterpret_cast<std::uintptr_t>(p) | bits;
@@ -26,6 +33,7 @@ constexpr T* unpack_ptr(std::uintptr_t w) noexcept {
 
 constexpr bool is_marked(std::uintptr_t w) noexcept { return (w & kMarkBit) != 0; }
 constexpr bool is_tagged(std::uintptr_t w) noexcept { return (w & kTagBit) != 0; }
+constexpr bool is_frozen(std::uintptr_t w) noexcept { return (w & kFreezeBit) != 0; }
 constexpr std::uintptr_t strip(std::uintptr_t w) noexcept { return w & kPtrBits; }
 constexpr std::uintptr_t bits_of(std::uintptr_t w) noexcept { return w & ~kPtrBits; }
 

@@ -15,9 +15,19 @@
 //
 // Runs across all 8 trackers and BOTH upsert paths: the in-place
 // value-cell swap (put) and the legacy remove+re-insert (put_copy).
+//
+// Resize-aware mode: a dedicated control thread interleaves online
+// resize() calls with each phase's traffic (and phases themselves start
+// from whatever geometry the previous phase ended on — "random phase
+// boundaries" in the recorded-stream sense: the boundary geometry is
+// derived from the phase seed).  Slice determinism is geometry-blind,
+// so every per-op result assert and every phase-boundary state diff
+// must hold bit-for-bit across migrations.  WFE_TEST_OPS scales the
+// per-thread op count down for the sanitizer CI jobs.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -27,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "harness/runner.hpp"
 #include "kv/kv_store.hpp"
 #include "tracker_types.hpp"
 #include "util/random.hpp"
@@ -39,10 +50,14 @@ template <class TR>
 using Store = kv::KvStore<std::uint64_t, std::uint64_t, TR>;
 
 constexpr unsigned kThreads = 4;
+constexpr unsigned kResizerTid = kThreads;  // the control thread's slot
 constexpr unsigned kPhases = 3;
-constexpr unsigned kOpsPerThread = 2500;
 constexpr std::uint64_t kSlice = 512;      // keys per thread slice
 constexpr std::size_t kMultiBatch = 8;     // span width of multi-ops
+
+unsigned ops_per_thread() {
+  return static_cast<unsigned>(harness::env_long("WFE_TEST_OPS", 2500));
+}
 
 struct Op {
   enum Kind : std::uint8_t { kInsert, kPut, kUpdate, kRemove, kGet,
@@ -58,9 +73,10 @@ struct Op {
 std::vector<Op> record_stream(unsigned tid, unsigned phase) {
   util::Xoshiro256 rng(0x5eedULL + tid * 7919 + phase * 104729);
   const std::uint64_t base = 1 + tid * kSlice;
+  const unsigned nops = ops_per_thread();
   std::vector<Op> ops;
-  ops.reserve(kOpsPerThread);
-  for (unsigned i = 0; i < kOpsPerThread; ++i) {
+  ops.reserve(nops);
+  for (unsigned i = 0; i < nops; ++i) {
     Op op;
     const auto r = rng.next_bounded(16);
     op.kind = r < 3   ? Op::kInsert
@@ -122,7 +138,7 @@ kv::KvConfig oracle_cfg() {
   kv::KvConfig c;
   c.shards = 4;
   c.buckets_per_shard = 64;
-  c.tracker.max_threads = kThreads;
+  c.tracker.max_threads = kThreads + 1;  // +1: the resize control thread
   c.tracker.max_hes = Store<TR>::kSlotsNeeded;
   c.tracker.era_freq = 8;
   c.tracker.cleanup_freq = 4;
@@ -194,7 +210,7 @@ void diff_states(Store<TR>& store, Reference& ref, unsigned phase) {
 }
 
 template <class TR>
-void run_oracle(bool in_place) {
+void run_oracle(bool in_place, bool with_resize) {
   Store<TR> store(oracle_cfg<TR>());
   Reference ref;
   for (unsigned phase = 0; phase < kPhases; ++phase) {
@@ -207,15 +223,42 @@ void run_oracle(bool in_place) {
         replay<TR>(store, ref, streams[t], t, in_place);
       });
     }
+    if (with_resize) {
+      // Control thread: online resizes concurrent with the replay.  The
+      // target counts come from the phase's recorded seed, so a failure
+      // reproduces from (seed, phase) like every other recorded op.
+      std::thread resizer([&] {
+        util::Xoshiro256 rng(0xc0ffeeULL + phase * 104729);
+        static constexpr std::size_t kCounts[] = {1, 2, 8, 16, 32};
+        for (unsigned r = 0; r < 3; ++r) {
+          store.resize(kCounts[rng.next_bounded(5)], kResizerTid);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        store.flush_retired(kResizerTid);
+      });
+      resizer.join();  // boundary resize may outlive the replay: fine
+    }
     for (auto& th : threads) th.join();
     diff_states<TR>(store, ref, phase);
   }
-  // Block conservation across the whole run: every allocation is live
-  // in the map (node + value cell per key), buffered, queued, or freed.
-  const kv::ShardStats tot = store.stats().total();
+  // Block conservation: every allocation in the CURRENT table's domains
+  // is live in the map (node + value cell per key), buffered, queued,
+  // or freed — migration keeps this identity per table because copies
+  // allocate in the destination domain and drains retire in the source.
+  const kv::KvStats st = store.stats();
+  const kv::ShardStats tot = st.total();
   EXPECT_EQ(tot.allocated, tot.freed + 2 * store.size_unsafe() +
                                tot.pending_retired + tot.unreclaimed);
-  if (in_place) EXPECT_GT(tot.batched_ops, 0u);
+  // batched_ops is a per-table counter: in resize mode the final table
+  // may have been created after the last multi-op ran, so only the
+  // fixed-geometry runs can demand it ticked.
+  if (in_place && !with_resize) EXPECT_GT(tot.batched_ops, 0u);
+  if (with_resize) {
+    for (const kv::ResizeRecord& r : st.resizes) {
+      EXPECT_EQ(r.cells_retired, r.migrated_keys);
+      EXPECT_GE(r.nodes_retired, r.migrated_keys);
+    }
+  }
 }
 
 template <class TR>
@@ -224,11 +267,19 @@ class KvOracleTest : public ::testing::Test {};
 TYPED_TEST_SUITE(KvOracleTest, test::AllTrackers);
 
 TYPED_TEST(KvOracleTest, InPlaceUpsertsMatchOracle) {
-  run_oracle<TypeParam>(/*in_place=*/true);
+  run_oracle<TypeParam>(/*in_place=*/true, /*with_resize=*/false);
 }
 
 TYPED_TEST(KvOracleTest, CopyUpsertsMatchOracle) {
-  run_oracle<TypeParam>(/*in_place=*/false);
+  run_oracle<TypeParam>(/*in_place=*/false, /*with_resize=*/false);
+}
+
+TYPED_TEST(KvOracleTest, InPlaceUpsertsMatchOracleAcrossResize) {
+  run_oracle<TypeParam>(/*in_place=*/true, /*with_resize=*/true);
+}
+
+TYPED_TEST(KvOracleTest, CopyUpsertsMatchOracleAcrossResize) {
+  run_oracle<TypeParam>(/*in_place=*/false, /*with_resize=*/true);
 }
 
 }  // namespace
