@@ -27,6 +27,12 @@
 //   WFE_KV_RESIZE          0 disables the resize sweep   (default 1)
 //   WFE_KV_RESIZE_FROM     shard count before the resize (default 4)
 //   WFE_KV_RESIZE_TO       shard count after the resize  (default 16)
+//   WFE_KV_PERSIST         0 disables the durability sweep (default 1)
+//   WFE_KV_SYNC_LIST       comma list of WAL sync modes  (default
+//                          "none,batched,always"); rows carry
+//                          "mode":"persist" and the per-mode wal stats
+//   WFE_KV_PERSIST_DIR     scratch dir for the WAL sweep (default
+//                          "bench_wal", wiped per data point)
 //   WFE_KV_JSON            output path                   (default BENCH_kv.json)
 //
 // The resize sweep measures the dip-and-recovery profile of one online
@@ -48,6 +54,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <string>
@@ -115,6 +122,9 @@ struct Params {
   bool inplace, copy;  // upsert paths to sweep
   bool resize;
   unsigned resize_from, resize_to;
+  bool persist;
+  bool sync_none, sync_batched, sync_always;
+  std::string persist_dir;
   std::vector<unsigned> threads, shards, read_pcts, mbatch;
 };
 
@@ -236,7 +246,97 @@ void run_one(const Params& pp, util::JsonWriter& j, unsigned nshards,
   j.kv("slow_path_entries", tot.slow_path_entries);
   j.kv("value_cell_retires", tot.value_cell_retires);
   j.kv("batched_ops", tot.batched_ops);
+  // Retire backlog at the end of the window: queued on the domains'
+  // retire lists vs still buffered in the batch adapters.
+  j.kv("retire_backlog", tot.retire_backlog);
+  j.kv("pending_retired", tot.pending_retired);
   j.end_object();
+}
+
+/// Durability sweep: the shared 50/50 get/put mix on a PERSISTENT store
+/// (4 shards), one row per WAL sync mode.  Each data point gets a fresh
+/// scratch directory so recovery replay never pollutes the timing.
+template <class TR>
+void run_persist_one(const Params& pp, util::JsonWriter& j, unsigned nthreads,
+                     persist::SyncMode sync, const char* sync_name) {
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, TR>;
+  const unsigned read_pct = 50;
+  const unsigned nshards = 4;
+  std::filesystem::remove_all(pp.persist_dir);
+  kv::KvConfig cfg;
+  cfg.shards = nshards;
+  cfg.buckets_per_shard = std::max<std::size_t>(64, 4096 / nshards);
+  cfg.tracker.max_threads = nthreads;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  cfg.tracker.retire_batch = pp.retire_batch;
+  cfg.persistence.enabled = true;
+  cfg.persistence.dir = pp.persist_dir;
+  cfg.persistence.sync = sync;
+  {
+    Store store(cfg);
+    const std::uint64_t prefill = std::min(pp.prefill, pp.key_range);
+    util::Xoshiro256 seed_rng(42);
+    std::uint64_t inserted = 0;
+    while (inserted < prefill)
+      inserted +=
+          store.insert(seed_rng.next_bounded(pp.key_range) + 1, inserted, 0)
+              ? 1
+              : 0;
+
+    harness::RunConfig rc;
+    rc.threads = nthreads;
+    rc.seconds = pp.seconds;
+    rc.repeats = pp.repeats;
+    harness::RunResult r = harness::run_timed(
+        rc,
+        [&](util::Xoshiro256& rng, unsigned tid) {
+          const std::uint64_t k = rng.next_bounded(pp.key_range) + 1;
+          if (rng.percent(read_pct)) {
+            store.get(k, tid);
+          } else {
+            store.put(k, k, tid);
+          }
+        },
+        [&] {
+          std::uint64_t u = 0;
+          const kv::KvStats st = store.stats();
+          for (const auto& s : st.shards) u += s.unreclaimed + s.pending_retired;
+          return u;
+        });
+
+    const kv::ShardStats tot = store.stats().total();
+    std::printf(
+        "%-8s PERSIST sync=%-7s threads=%-3u %8.3f Mops/s  "
+        "wal_lsn=%llu durable=%llu fsyncs=%llu backlog=%llu+%llu\n",
+        TR::name(), sync_name, nthreads, r.mops,
+        static_cast<unsigned long long>(tot.wal_appended_lsn),
+        static_cast<unsigned long long>(tot.wal_durable_lsn),
+        static_cast<unsigned long long>(tot.wal_fsyncs),
+        static_cast<unsigned long long>(tot.retire_backlog),
+        static_cast<unsigned long long>(tot.pending_retired));
+
+    j.begin_object();
+    j.kv("tracker", TR::name());
+    j.kv("mode", "persist");
+    j.kv("sync", sync_name);
+    j.kv("shards", static_cast<std::uint64_t>(store.shard_count()));
+    j.kv("read_pct", read_pct);
+    j.kv("threads", nthreads);
+    j.kv("retire_batch", pp.retire_batch);
+    j.kv("upsert", "inplace");
+    j.kv("mops", r.mops);
+    j.kv("mops_stddev", r.mops_stddev);
+    j.kv("avg_unreclaimed", r.avg_unreclaimed);
+    j.kv("ops", tot.ops());
+    j.kv("retired", tot.retired);
+    j.kv("wal_appended_lsn", tot.wal_appended_lsn);
+    j.kv("wal_durable_lsn", tot.wal_durable_lsn);
+    j.kv("wal_fsyncs", tot.wal_fsyncs);
+    j.kv("retire_backlog", tot.retire_backlog);
+    j.kv("pending_retired", tot.pending_retired);
+    j.end_object();
+  }
+  std::filesystem::remove_all(pp.persist_dir);
 }
 
 /// One measured window of the shared 50/50 get/put mix on `store`.
@@ -362,6 +462,18 @@ void run_tracker(const Params& pp, util::JsonWriter& j) {
   }
   if (pp.resize)
     for (unsigned nthreads : pp.threads) run_resize_one<TR>(pp, j, nthreads);
+  if (pp.persist) {
+    for (unsigned nthreads : pp.threads) {
+      if (pp.sync_none)
+        run_persist_one<TR>(pp, j, nthreads, persist::SyncMode::kNone, "none");
+      if (pp.sync_batched)
+        run_persist_one<TR>(pp, j, nthreads, persist::SyncMode::kBatched,
+                            "batched");
+      if (pp.sync_always)
+        run_persist_one<TR>(pp, j, nthreads, persist::SyncMode::kAlways,
+                            "always");
+    }
+  }
 }
 
 }  // namespace
@@ -387,6 +499,12 @@ int main() {
       static_cast<unsigned>(harness::env_long("WFE_KV_RESIZE_FROM", 4));
   pp.resize_to =
       static_cast<unsigned>(harness::env_long("WFE_KV_RESIZE_TO", 16));
+  pp.persist = harness::env_long("WFE_KV_PERSIST", 1) != 0;
+  pp.sync_none = env_has_word("WFE_KV_SYNC_LIST", "none");
+  pp.sync_batched = env_has_word("WFE_KV_SYNC_LIST", "batched");
+  pp.sync_always = env_has_word("WFE_KV_SYNC_LIST", "always");
+  const char* pdir = std::getenv("WFE_KV_PERSIST_DIR");
+  pp.persist_dir = pdir == nullptr ? "bench_wal" : pdir;
   const char* out_path = std::getenv("WFE_KV_JSON");
   if (out_path == nullptr) out_path = "BENCH_kv.json";
 

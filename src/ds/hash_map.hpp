@@ -108,6 +108,9 @@ class BucketArray {
                      bool& was_absent) {
     return bucket(key).try_put_in_op(key, value, tid, was_absent);
   }
+  bool try_remove_in_op(const K& key, unsigned tid, std::optional<V>& out) {
+    return bucket(key).try_remove_in_op(key, tid, out);
+  }
 
   // ---- migration primitives, by bucket index (kv resharding; single
   // designated migrator per bucket — see HmList for the protocol) ----
@@ -139,6 +142,16 @@ class BucketArray {
   template <class Fn>
   void for_each_unsafe(Fn&& fn) const {
     for (std::size_t i = 0; i <= mask_; ++i) buckets_[i].list->for_each_unsafe(fn);
+  }
+
+  /// Concurrency-safe iteration (fuzzy snapshot dumps — see HmList).
+  /// False if any bucket aborted on a freeze bit.
+  template <class Fn>
+  bool for_each_protected(unsigned tid, Fn&& fn) {
+    bool ok = true;
+    for (std::size_t i = 0; i <= mask_; ++i)
+      ok = buckets_[i].list->for_each_protected(tid, fn) && ok;
+    return ok;
   }
 
  private:

@@ -235,6 +235,68 @@ class HmList {
                      bool& was_absent) {
     return put_impl(key, value, tid, was_absent);
   }
+  bool try_remove_in_op(const K& key, unsigned tid, std::optional<V>& out) {
+    return remove_impl(key, tid, out);
+  }
+
+  /// Concurrency-SAFE iteration over present (key, value) pairs, for
+  /// fuzzy snapshot dumps: every node and cell is dereferenced under the
+  /// same protection discipline get() uses, so it may run against live
+  /// writers.  If an unlink CAS forces a restart, already-emitted pairs
+  /// are emitted again — callers must treat the output as a multiset of
+  /// point-in-time observations (for a snapshot, any observation of a
+  /// key is valid; see persist/snapshot.hpp for why).  Returns false if
+  /// a freeze bit was observed (bucket mid-migration): no pair is
+  /// missed only when the caller excludes concurrent migration, which
+  /// the kv store does by snapshotting under the resize lock.
+  template <class Fn>
+  bool for_each_protected(unsigned tid, Fn&& fn) {
+    tracker_.begin_op(tid);
+    bool ok = true;
+  restart:
+    std::atomic<std::uintptr_t>* prev_link = &head_;
+    Node* prev_node = nullptr;
+    unsigned cur_slot = 0;
+    for (;;) {
+      const std::uintptr_t cur_w =
+          tracker_.protect_word(*prev_link, cur_slot, tid, prev_node);
+      if (util::is_frozen(cur_w)) {
+        ok = false;
+        break;
+      }
+      if (util::is_marked(cur_w)) goto restart;  // prev got deleted
+      Node* cur = util::unpack_ptr<Node>(cur_w);
+      if (cur == nullptr) break;
+      const std::uintptr_t next_w = cur->next.load(std::memory_order_acquire);
+      if (util::is_frozen(next_w)) {
+        ok = false;
+        break;
+      }
+      if (util::is_marked(next_w)) {
+        // Logically deleted: help unlink exactly as find() does, so the
+        // traversal never walks a marked chain unprotected.
+        std::uintptr_t expected = util::pack_ptr(cur);
+        if (!prev_link->compare_exchange_strong(expected, util::strip(next_w),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed))
+          goto restart;
+        tracker_.retire(cur, tid);
+        continue;  // re-read the same link
+      }
+      const std::uintptr_t cw =
+          tracker_.protect_word(cur->cell, kCellSlot, tid, cur);
+      if (util::is_frozen(cw)) {
+        ok = false;
+        break;
+      }
+      if (!util::is_marked(cw)) fn(cur->key, util::unpack_ptr<ValueCell>(cw)->value);
+      prev_link = &cur->next;
+      prev_node = cur;
+      cur_slot ^= 1u;
+    }
+    tracker_.end_op(tid);
+    return ok;
+  }
 
   // ---- migration primitives (single designated migrator thread) ----
 

@@ -50,10 +50,29 @@
 // newer than its epoch.  Because epochs are monotone and a thread only
 // ever forwards to HIGHER-epoch tables, one announcement covers the
 // whole forwarding chain the thread can reach.
+//
+// === Durability (src/persist/) ===
+//
+// With KvConfig::persistence enabled, every table shard owns a WAL
+// stream (persist/group_commit.hpp) keyed by (table epoch, shard):
+// completed mutations append apply-then-append (kv/shard.hpp), the
+// BatchedTracker free gate rides the stream's durable-LSN watermark,
+// and resizes bracket themselves in the log — RESIZE_BEGIN is written
+// DURABLY to the source table's stream 0 before the destination
+// epoch's streams exist, so recovery (persist/recovery.hpp) always
+// reopens at the last announced geometry and replays epochs in order
+// (a key writes into epoch e+1 only after its epoch-e bucket froze, so
+// per-key order survives the epoch hop).  Snapshots are fuzzy dumps
+// under the resize lock (persist/snapshot.hpp explains why that is
+// consistent), after which whole superseded segments and epochs are
+// truncated.  The null backend (enabled = false, the default) leaves
+// every hot path exactly one untaken branch away from the PR 3 code.
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -64,6 +83,9 @@
 #include "ds/hash_map.hpp"
 #include "kv/shard.hpp"
 #include "kv/stats.hpp"
+#include "persist/group_commit.hpp"
+#include "persist/recovery.hpp"
+#include "persist/snapshot.hpp"
 #include "reclaim/tracker.hpp"
 #include "util/stats.hpp"
 
@@ -84,6 +106,10 @@ struct KvConfig {
   std::size_t auto_grow_max_shards = 256;
   /// Writes between auto-grow checks, per thread (power of two).
   unsigned auto_grow_check_interval = 512;
+  /// Durability backend (persist::Options.enabled = false keeps the
+  /// store purely in-memory).  Requires K and V to be trivially
+  /// copyable and at most 8 bytes (persist::wal_encodable).
+  persist::Options persistence;
 };
 
 template <class K, class V, reclaim::tracker_for Tracker>
@@ -91,27 +117,51 @@ class KvStore {
  public:
   using ShardT = Shard<K, V, Tracker>;
   static constexpr unsigned kSlotsNeeded = ShardT::kSlotsNeeded;
+  static constexpr bool kPersistable =
+      persist::wal_encodable<K> && persist::wal_encodable<V>;
 
+  /// With persistence enabled, construction runs crash recovery on
+  /// cfg.persistence.dir (thread slot 0 replays; call before any
+  /// concurrent traffic): geometry is restored from the log, the
+  /// snapshot + WAL tails are replayed, then fresh appends resume on
+  /// the recovered streams.
   explicit KvStore(const KvConfig& cfg)
       : cfg_(cfg),
         announce_(cfg.tracker.max_threads),
         counters_(cfg.tracker.max_threads),
-        grow_ticks_(cfg.tracker.max_threads) {
+        grow_ticks_(cfg.tracker.max_threads),
+        snap_ticks_(cfg.tracker.max_threads) {
     cfg_.shards = ds::round_up_pow2(std::max<std::size_t>(1, cfg.shards));
     cfg_.buckets_per_shard =
         ds::round_up_pow2(std::max<std::size_t>(1, cfg.buckets_per_shard));
     cfg_.auto_grow_check_interval = static_cast<unsigned>(ds::round_up_pow2(
         std::max<std::size_t>(1, cfg.auto_grow_check_interval)));
+    cfg_.persistence.snapshot_check_interval =
+        static_cast<unsigned>(ds::round_up_pow2(std::max<std::size_t>(
+            1, cfg.persistence.snapshot_check_interval)));
     for (unsigned t = 0; t < cfg_.tracker.max_threads; ++t) {
       announce_[t].store(kIdle, std::memory_order_relaxed);
       grow_ticks_[t] = 0;
+      snap_ticks_[t] = 0;
     }
-    tables_.push_back(make_table(cfg_.shards, /*epoch=*/1));
+    if (cfg_.persistence.enabled) {
+      if constexpr (kPersistable) {
+        open_persistent();
+        return;
+      } else {
+        std::fprintf(stderr,
+                     "KvStore: persistence requires wal_encodable K/V\n");
+        std::abort();
+      }
+    }
+    tables_.push_back(make_table(cfg_.shards, /*epoch=*/1, /*wals=*/false));
     table_.store(tables_.back().get(), std::memory_order_release);
     epoch_.store(1, std::memory_order_release);
   }
 
-  ~KvStore() = default;  // tables_ owns every table; trackers drain last
+  // tables_ owns every table; shards flush (gate bypassed) before their
+  // WAL streams close durably, trackers drain last.
+  ~KvStore() = default;
 
   std::optional<V> get(const K& key, unsigned tid) {
     TableGuard g(*this, tid);
@@ -138,6 +188,7 @@ class KvStore {
     }
     if (was_absent) counters_.inc(kNetInserts, tid);
     maybe_auto_grow(tid);
+    maybe_auto_snapshot(tid);
     return was_absent;
   }
 
@@ -154,6 +205,7 @@ class KvStore {
     }
     if (!saw_present) counters_.inc(kNetInserts, tid);
     maybe_auto_grow(tid);
+    maybe_auto_snapshot(tid);
     return !saw_present;
   }
 
@@ -168,6 +220,7 @@ class KvStore {
     }
     if (inserted) counters_.inc(kNetInserts, tid);
     maybe_auto_grow(tid);
+    maybe_auto_snapshot(tid);
     return inserted;
   }
 
@@ -190,6 +243,7 @@ class KvStore {
         t = wait_forward(*t, key, tid);
     }
     if (out.has_value()) counters_.inc(kNetRemoves, tid);
+    maybe_auto_snapshot(tid);  // removes append WAL bytes too
     return out;
   }
 
@@ -275,11 +329,57 @@ class KvStore {
     }
     counters_.inc(kNetInserts, tid, inserted);
     maybe_auto_grow(tid);
+    maybe_auto_snapshot(tid);
     return inserted;
   }
 
   std::size_t multi_put(const std::vector<std::pair<K, V>>& ops, unsigned tid) {
     return multi_put(ops.data(), ops.size(), tid);
+  }
+
+  /// Point removes for keys[0..n); out[i] receives the removed value
+  /// for keys[i] (nullopt when absent).  Same counting-sort shard
+  /// grouping and one-session-per-shard execution as multi_get.
+  /// Returns how many keys were present (and are now removed).
+  std::size_t multi_remove(const K* keys, std::size_t n, std::optional<V>* out,
+                           unsigned tid) {
+    if (n == 0) return 0;
+    std::size_t removed = 0;
+    {
+      TableGuard g(*this, tid);
+      Table* t = g.table;
+      static thread_local ShardPlan plan;  // scratch: reused across calls
+      static thread_local std::vector<std::uint32_t> pend, defer;
+      pend.resize(n);
+      for (std::size_t i = 0; i < n; ++i)
+        pend[i] = static_cast<std::uint32_t>(i);
+      for (;;) {
+        group_subset(plan, *t, pend, [&](std::uint32_t i) {
+          return shard_index_in(*t, keys[i]);
+        });
+        defer.clear();
+        for (std::size_t s = 0; s <= t->mask; ++s) {
+          const std::size_t b = s == 0 ? 0 : plan.start[s - 1],
+                            e = plan.start[s];
+          if (b != e)
+            removed += t->shards[s]->multi_remove(keys, plan.order.data() + b,
+                                                  e - b, out, tid, defer);
+        }
+        if (defer.empty()) break;
+        t = wait_forward_all(*t, keys, defer, tid);
+        pend.swap(defer);
+      }
+    }
+    counters_.inc(kNetRemoves, tid, removed);
+    maybe_auto_snapshot(tid);  // removes append WAL bytes too
+    return removed;
+  }
+
+  std::vector<std::optional<V>> multi_remove(const std::vector<K>& keys,
+                                             unsigned tid) {
+    std::vector<std::optional<V>> out(keys.size());
+    multi_remove(keys.data(), keys.size(), out.data(), tid);
+    return out;
   }
 
   // ---- online resharding ----
@@ -368,6 +468,60 @@ class KvStore {
     scan_tables_locked();
   }
 
+  // ---- durability (no-ops / empty results when persistence is off) ----
+
+  bool persist_enabled() const noexcept { return cfg_.persistence.enabled; }
+
+  /// Barrier: returns once every record appended before the call is
+  /// durable on every current shard stream, then drains this thread's
+  /// now-ungated retire bursts.
+  void persist_sync(unsigned tid) {
+    {
+      TableGuard g(*this, tid);
+      for (auto& w : g.table->wals) w->flush_now();
+    }
+    flush_retired(tid);
+  }
+
+  /// Compaction: fuzzy-dump the store into snap-<id>.dat and truncate
+  /// WAL segments the snapshot supersedes.  Serializes with resize (and
+  /// other snapshots) on the resize mutex.  False when persistence is
+  /// off or the dump/write failed.
+  bool snapshot_now(unsigned tid) {
+    if constexpr (kPersistable) {
+      if (!cfg_.persistence.enabled) return false;
+      std::lock_guard<std::mutex> lk(resize_mu_);
+      return snapshot_locked(tid);
+    } else {
+      (void)tid;
+      return false;
+    }
+  }
+
+  /// Test hook: freeze the durable watermark (no more fsyncs) on every
+  /// stream while writes keep flowing — the page-cache window a real
+  /// crash exposes.
+  void persist_suppress_sync(bool on) {
+    std::lock_guard<std::mutex> lk(resize_mu_);
+    for (auto& t : tables_)
+      for (auto& w : t->wals) w->suppress_sync(on);
+  }
+
+  /// Test hook: simulated kill.  Flushers stop without flushing, files
+  /// are left exactly as written so far; returns every stream's tail
+  /// state (current table's streams first).  The store itself stays
+  /// destructible but must take no further traffic.
+  std::vector<persist::CrashedTail> persist_crash() {
+    std::lock_guard<std::mutex> lk(resize_mu_);
+    std::vector<persist::CrashedTail> out;
+    const Table* cur = table_.load(std::memory_order_acquire);
+    for (auto& w : const_cast<Table*>(cur)->wals) out.push_back(w->crash());
+    for (auto& t : tables_)
+      if (t.get() != cur)
+        for (auto& w : t->wals) out.push_back(w->crash());
+    return out;
+  }
+
   KvStats stats() const {
     KvStats st;
     {
@@ -382,6 +536,8 @@ class KvStore {
     st.resize_epochs = resize_epochs_.load(std::memory_order_relaxed);
     st.migrated_keys = migrated_keys_.load(std::memory_order_relaxed);
     st.forwarded_ops = counters_.sum(kForwarded);
+    st.persist_enabled = cfg_.persistence.enabled;
+    st.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
     return st;
   }
 
@@ -392,6 +548,11 @@ class KvStore {
     std::uint64_t epoch;
     std::size_t mask;     ///< shard_count - 1
     std::size_t buckets;  ///< per shard
+    /// WAL streams, one per shard (empty when persistence is off).
+    /// Declared before `shards` so shard teardown — which flushes the
+    /// batch adapter with the gate bypassed — runs while the streams
+    /// are still alive, and each stream then closes durably.
+    std::vector<std::unique_ptr<persist::ShardWal>> wals;
     std::vector<std::unique_ptr<ShardT>> shards;
     /// One flag per (shard, bucket): 1 = every live pair of that source
     /// bucket is present in `next`; waiters proceed there.
@@ -418,7 +579,8 @@ class KvStore {
   };
   friend struct TableGuard;
 
-  std::unique_ptr<Table> make_table(std::size_t shards, std::uint64_t epoch) {
+  std::unique_ptr<Table> make_table(std::size_t shards, std::uint64_t epoch,
+                                    bool wals) {
     auto t = std::make_unique<Table>();
     t->epoch = epoch;
     t->mask = shards - 1;
@@ -433,6 +595,12 @@ class KvStore {
       for (std::size_t b = 0; b < t->buckets; ++b)
         flags[b].store(0, std::memory_order_relaxed);
       t->migrated.push_back(std::move(flags));
+      if (wals) {
+        t->wals.push_back(std::make_unique<persist::ShardWal>(
+            cfg_.persistence.dir, epoch, static_cast<unsigned>(i),
+            cfg_.persistence));
+        t->shards.back()->attach_wal(t->wals.back().get());
+      }
     }
     return t;
   }
@@ -517,7 +685,16 @@ class KvStore {
   bool resize_locked(std::size_t want, unsigned tid) {
     Table* src = table_.load(std::memory_order_acquire);
     if (src->mask + 1 == want) return false;
-    tables_.push_back(make_table(want, src->epoch + 1));
+    // The geometry change is announced DURABLY before the destination
+    // epoch's streams exist: recovery that finds epoch e+1 files can
+    // rely on having seen this record, and recovery that finds only the
+    // record reopens at the announced geometry with nothing to replay
+    // there yet.
+    if (!src->wals.empty())
+      src->wals[0]->log_durable(persist::RecordType::kResizeBegin,
+                                persist::pack_shards(src->mask + 1, want),
+                                src->epoch + 1);
+    tables_.push_back(make_table(want, src->epoch + 1, !src->wals.empty()));
     Table* dst = tables_.back().get();
     src->next.store(dst, std::memory_order_release);
 
@@ -551,6 +728,16 @@ class KvStore {
     migrated_keys_.fetch_add(rec.migrated_keys, std::memory_order_relaxed);
     resize_epochs_.fetch_add(1, std::memory_order_relaxed);
     history_.push_back(rec);
+    // Informational close bracket (recovery never depends on it: an
+    // unfinished migration replays correctly from both epochs' logs).
+    if (!dst->wals.empty()) {
+      dst->wals[0]->log_durable(persist::RecordType::kResizeEnd,
+                                persist::pack_shards(rec.from_shards, want),
+                                dst->epoch);
+      // Fresh streams restart their byte counts; realign the
+      // auto-snapshot trigger's floor.
+      snap_bytes_floor_.store(0, std::memory_order_relaxed);
+    }
     scan_tables_locked();
     return true;
   }
@@ -578,7 +765,7 @@ class KvStore {
   /// caller's TableGuard is gone by now, and only the mutex keeps the
   /// table scan from freeing the table this dereferences.
   void maybe_auto_grow(unsigned tid) {
-    if (cfg_.auto_grow_load_factor <= 0.0) return;
+    if (replaying_ || cfg_.auto_grow_load_factor <= 0.0) return;
     unsigned& ticks = grow_ticks_[tid];  // per-instance, owner-thread-only
     if ((++ticks & (cfg_.auto_grow_check_interval - 1)) != 0) return;
     if (!resize_mu_.try_lock()) return;
@@ -592,6 +779,110 @@ class KvStore {
         cfg_.auto_grow_load_factor * capacity)
       return;
     resize_locked(shards * 2, tid);
+  }
+
+  /// Persistence open path: recovery scan -> geometry -> replay through
+  /// the ordinary op entry points (streams not yet attached, so nothing
+  /// re-logs) -> stream attach -> optional compaction.  Runs in the
+  /// constructor on thread slot 0, before any concurrency exists.
+  void open_persistent() {
+    const persist::Options& po = cfg_.persistence;
+    persist::RecoveryPlan plan = persist::plan_recovery(po.dir);
+    const std::size_t shards0 =
+        plan.shard_count > 0
+            ? ds::round_up_pow2(static_cast<std::size_t>(plan.shard_count))
+            : cfg_.shards;
+    const std::uint64_t epoch0 = std::max<std::uint64_t>(plan.epoch, 1);
+    tables_.push_back(make_table(shards0, epoch0, /*wals=*/false));
+    table_.store(tables_.back().get(), std::memory_order_release);
+    epoch_.store(epoch0, std::memory_order_release);
+    replaying_ = true;
+    persist::replay(
+        plan,
+        [&](std::uint64_t k, std::uint64_t v) {
+          put(persist::decode<K>(k), persist::decode<V>(v), 0);
+        },
+        [&](std::uint64_t k) { remove(persist::decode<K>(k), 0); });
+    replaying_ = false;
+    Table* t = tables_.back().get();
+    for (std::size_t i = 0; i <= t->mask; ++i) {
+      t->wals.push_back(std::make_unique<persist::ShardWal>(
+          po.dir, epoch0, static_cast<unsigned>(i), po));
+      t->shards[i]->attach_wal(t->wals.back().get());
+    }
+    snap_seq_ = plan.max_snapshot_id;
+    if (po.snapshot_on_open && plan.has_state) {
+      std::lock_guard<std::mutex> lk(resize_mu_);
+      snapshot_locked(0);
+    }
+  }
+
+  /// Compaction body; caller holds resize_mu_ and persistence is on.
+  /// False on I/O failure — the store keeps running on the untruncated
+  /// log, and a later snapshot retries.
+  bool snapshot_locked(unsigned tid) {
+    Table* t = table_.load(std::memory_order_acquire);
+    if (t->wals.empty()) return false;
+    persist::SnapshotImage img;
+    img.id = snap_seq_ + 1;
+    img.epoch = t->epoch;
+    img.shards = t->mask + 1;
+    img.marks.resize(img.shards, 0);
+    // Marks first, dump second: every record below a mark was fully
+    // applied before the mark existed (apply-then-append), so the dump
+    // that follows observes it — persist/snapshot.hpp lays the argument
+    // out in full.
+    for (std::size_t s = 0; s <= t->mask; ++s)
+      img.marks[s] = t->wals[s]->append(persist::RecordType::kSnapshotMark,
+                                        img.id, t->epoch);
+    bool ok = true;
+    for (std::size_t s = 0; s <= t->mask; ++s)
+      ok = t->shards[s]->for_each_protected(
+               tid,
+               [&](const K& k, const V& v) {
+                 img.pairs.emplace_back(persist::encode(k), persist::encode(v));
+               }) &&
+           ok;
+    if (!ok) return false;  // freeze bits can't appear under resize_mu_
+    if (!persist::write_snapshot(cfg_.persistence.dir, img)) return false;
+    ++snap_seq_;
+    snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+    // Truncation: rotate each stream at its mark so whole closed
+    // segments (and whole older epochs) can be deleted.
+    for (std::size_t s = 0; s <= t->mask; ++s)
+      t->wals[s]->rotate_at(img.marks[s]);
+    for (std::size_t s = 0; s <= t->mask; ++s) t->wals[s]->flush_now();
+    for (std::size_t s = 0; s <= t->mask; ++s)
+      t->wals[s]->truncate_through(img.marks[s]);
+    persist::truncate_superseded(cfg_.persistence.dir, t->epoch, img.id);
+    std::uint64_t bytes = 0;
+    for (const auto& w : t->wals) bytes += w->bytes_appended();
+    snap_bytes_floor_.store(bytes, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Auto-compaction on the write path, mirroring maybe_auto_grow's
+  /// cadence-then-try_lock shape: every snapshot_check_interval-th
+  /// write per thread compares the WAL bytes appended since the last
+  /// snapshot with snapshot_every_bytes and compacts inline.
+  void maybe_auto_snapshot(unsigned tid) {
+    if constexpr (kPersistable) {
+      const persist::Options& po = cfg_.persistence;
+      if (!po.enabled || po.snapshot_every_bytes == 0 || replaying_) return;
+      unsigned& ticks = snap_ticks_[tid];  // per-instance, owner-thread-only
+      if ((++ticks & (po.snapshot_check_interval - 1)) != 0) return;
+      if (!resize_mu_.try_lock()) return;
+      std::lock_guard<std::mutex> lk(resize_mu_, std::adopt_lock);
+      const Table* t = table_.load(std::memory_order_acquire);
+      std::uint64_t bytes = 0;
+      for (const auto& w : t->wals) bytes += w->bytes_appended();
+      if (bytes < snap_bytes_floor_.load(std::memory_order_relaxed) +
+                      po.snapshot_every_bytes)
+        return;
+      snapshot_locked(tid);
+    } else {
+      (void)tid;
+    }
   }
 
   KvConfig cfg_;
@@ -610,6 +901,16 @@ class KvStore {
   reclaim::detail::PerThread<unsigned> grow_ticks_;
   std::atomic<std::uint64_t> migrated_keys_{0};
   std::atomic<std::uint64_t> resize_epochs_{0};
+
+  // ---- durability state (inert when persistence is off) ----
+  /// Per-thread write ticks for the auto-snapshot cadence.
+  reclaim::detail::PerThread<unsigned> snap_ticks_;
+  std::atomic<std::uint64_t> snapshots_written_{0};
+  std::uint64_t snap_seq_ = 0;  ///< last snapshot id (resize_mu_ / ctor)
+  std::atomic<std::uint64_t> snap_bytes_floor_{0};
+  /// Constructor-only: recovery replay runs through the normal op entry
+  /// points, which must not auto-grow or auto-snapshot mid-replay.
+  bool replaying_ = false;
 };
 
 }  // namespace wfe::kv

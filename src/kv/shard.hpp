@@ -17,6 +17,16 @@
 // map_ (deallocs live nodes) -> batched_ (flushes pending bursts into
 // tracker_) -> tracker_ (drains its retire lists).  C++ destroys members
 // in reverse declaration order, so tracker_ is declared first.
+//
+// Durability (src/persist/): when the store attaches a WAL stream via
+// attach_wal(), every COMPLETED mutation appends one record AFTER its
+// memory effect — apply-then-append is what makes the fuzzy snapshot
+// consistent (persist/snapshot.hpp) — and the BatchedTracker facade
+// gates frees on the stream's durable-LSN watermark.  The net record
+// set is minimal: put/insert/update/put_copy log one PUT (put_copy's
+// transient remove+insert is one logical upsert), a successful remove
+// logs one REMOVE, failed ops and migrate_in log nothing (migrated
+// pairs are reconstructed from their source epoch's records).
 
 #include <cstddef>
 #include <cstdint>
@@ -27,6 +37,7 @@
 #include "ds/hash_map.hpp"
 #include "kv/batch_retire.hpp"
 #include "kv/stats.hpp"
+#include "persist/group_commit.hpp"
 #include "reclaim/tracker.hpp"
 #include "util/stats.hpp"
 
@@ -45,6 +56,15 @@ class Shard {
         map_(batched_, buckets),
         ops_(cfg.max_threads) {}
 
+  /// Attaches this shard's WAL stream: mutations start logging and the
+  /// batch adapter gates frees on the durable watermark.  Called before
+  /// the shard takes traffic (table construction / end of recovery).
+  void attach_wal(persist::ShardWal* wal) noexcept {
+    wal_ = wal;
+    batched_.set_wal(wal);
+  }
+  persist::ShardWal* wal() const noexcept { return wal_; }
+
   std::optional<V> get(const K& key, unsigned tid) {
     ops_.inc(kGet, tid);
     return map_.get(key, tid);
@@ -60,29 +80,39 @@ class Shard {
     ops_.inc(kPut, tid);
     const bool was_absent = map_.put(key, value, tid);
     if (!was_absent) ops_.inc(kCellRetire, tid);
+    log_put(key, value);
     return was_absent;
   }
   /// Remove+re-insert upsert (the pre-value-cell baseline; kept for the
   /// bench comparison and as a node-churn stressor).
   bool put_copy(const K& key, const V& value, unsigned tid) {
     ops_.inc(kPut, tid);
-    return map_.put_copy(key, value, tid);
+    const bool was_absent = map_.put_copy(key, value, tid);
+    log_put(key, value);
+    return was_absent;
   }
   /// Insert-if-absent; false (no write) when present.
   bool insert(const K& key, const V& value, unsigned tid) {
     ops_.inc(kPut, tid);
-    return map_.insert(key, value, tid);
+    const bool inserted = map_.insert(key, value, tid);
+    if (inserted) log_put(key, value);
+    return inserted;
   }
   /// Replace-if-present, in place; false (no write) when absent.
   bool update(const K& key, const V& value, unsigned tid) {
     ops_.inc(kUpdate, tid);
     const bool updated = map_.update(key, value, tid);
-    if (updated) ops_.inc(kCellRetire, tid);
+    if (updated) {
+      ops_.inc(kCellRetire, tid);
+      log_put(key, value);
+    }
     return updated;
   }
   std::optional<V> remove(const K& key, unsigned tid) {
     ops_.inc(kRemove, tid);
-    return map_.remove(key, tid);
+    std::optional<V> out = map_.remove(key, tid);
+    if (out.has_value()) log_remove(key);
+    return out;
   }
 
   // ---- freeze-aware variants (kv resharding): false = the key's bucket
@@ -105,12 +135,14 @@ class Shard {
   bool try_insert(const K& key, const V& value, unsigned tid, bool& inserted) {
     if (!map_.try_insert(key, value, tid, inserted)) return false;
     ops_.inc(kPut, tid);
+    if (inserted) log_put(key, value);
     return true;
   }
   bool try_put(const K& key, const V& value, unsigned tid, bool& was_absent) {
     if (!map_.try_put(key, value, tid, was_absent)) return false;
     ops_.inc(kPut, tid);
     if (!was_absent) ops_.inc(kCellRetire, tid);
+    log_put(key, value);
     return true;
   }
   /// Remove+re-insert upsert half.  `saw_present` accumulates across
@@ -124,6 +156,7 @@ class Shard {
       if (!map_.try_insert(key, value, tid, inserted)) return false;
       if (inserted) {
         ops_.inc(kPut, tid);
+        log_put(key, value);  // one net PUT for the whole logical upsert
         return true;
       }
       saw_present = true;
@@ -134,12 +167,16 @@ class Shard {
   bool try_update(const K& key, const V& value, unsigned tid, bool& updated) {
     if (!map_.try_update(key, value, tid, updated)) return false;
     ops_.inc(kUpdate, tid);
-    if (updated) ops_.inc(kCellRetire, tid);
+    if (updated) {
+      ops_.inc(kCellRetire, tid);
+      log_put(key, value);
+    }
     return true;
   }
   bool try_remove(const K& key, unsigned tid, std::optional<V>& out) {
     if (!map_.try_remove(key, tid, out)) return false;
     ops_.inc(kRemove, tid);
+    if (out.has_value()) log_remove(key);
     return true;
   }
 
@@ -177,11 +214,13 @@ class Shard {
                         std::size_t n, unsigned tid,
                         std::vector<std::uint32_t>& deferred) {
     std::size_t inserted = 0, done = 0;
+    std::uint64_t last_lsn = 0;
     batched_.begin_op(tid);
     for (std::size_t i = 0; i < n; ++i) {
       const auto& [k, v] = ops[idx[i]];
       bool was_absent = false;
       if (map_.try_put_in_op(k, v, tid, was_absent)) {
+        last_lsn = log_put_deferred(k, v);
         ++done;
         if (was_absent) ++inserted;
       } else {
@@ -189,10 +228,39 @@ class Shard {
       }
     }
     batched_.end_op(tid);
+    ack_log(last_lsn);  // one durability wait for the whole group
     ops_.inc(kPut, tid, done);
     ops_.inc(kBatched, tid, done);
     ops_.inc(kCellRetire, tid, done - inserted);
     return inserted;
+  }
+
+  /// Removes for this shard's slice; out[idx[i]] receives the removed
+  /// value (or nullopt).  Returns how many keys were actually present.
+  std::size_t multi_remove(const K* keys, const std::uint32_t* idx,
+                           std::size_t n, std::optional<V>* out, unsigned tid,
+                           std::vector<std::uint32_t>& deferred) {
+    std::size_t removed = 0, done = 0;
+    std::uint64_t last_lsn = 0;
+    batched_.begin_op(tid);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::optional<V> v;
+      if (map_.try_remove_in_op(keys[idx[i]], tid, v)) {
+        if (v.has_value()) {
+          last_lsn = log_remove_deferred(keys[idx[i]]);
+          ++removed;
+        }
+        out[idx[i]] = std::move(v);
+        ++done;
+      } else {
+        deferred.push_back(idx[i]);
+      }
+    }
+    batched_.end_op(tid);
+    ack_log(last_lsn);  // one durability wait for the whole group
+    ops_.inc(kRemove, tid, done);
+    ops_.inc(kBatched, tid, done);
+    return removed;
   }
 
   // ---- migration halves (kv resharding) ----
@@ -232,6 +300,12 @@ class Shard {
     map_.for_each_unsafe(fn);
   }
 
+  /// Concurrency-safe iteration (snapshot dumps; see BucketArray).
+  template <class Fn>
+  bool for_each_protected(unsigned tid, Fn&& fn) {
+    return map_.for_each_protected(tid, fn);
+  }
+
   /// Hand this thread's buffered retire burst to the domain tracker.
   void flush_retired(unsigned tid) noexcept { batched_.flush(tid); }
 
@@ -257,6 +331,11 @@ class Shard {
     s.value_cell_retires = ops_.sum(kCellRetire);
     s.batched_ops = ops_.sum(kBatched);
     s.migrated_in = ops_.sum(kMigratedIn);
+    if (wal_ != nullptr) {
+      s.wal_appended_lsn = wal_->appended_lsn();
+      s.wal_durable_lsn = wal_->durable_lsn();
+      s.wal_fsyncs = wal_->fsyncs();
+    }
     return s;
   }
 
@@ -265,9 +344,52 @@ class Shard {
     kGet, kPut, kRemove, kUpdate, kCellRetire, kBatched, kMigratedIn, kLanes
   };
 
+  /// One record per completed mutation, appended AFTER the memory
+  /// effect.  No-ops without an attached WAL; the if-constexpr keeps
+  /// non-encodable K/V instantiable (they simply can't attach a WAL —
+  /// the store enforces that at open).
+  void log_put(const K& key, const V& value) {
+    if constexpr (persist::wal_encodable<K> && persist::wal_encodable<V>) {
+      if (wal_ != nullptr)
+        wal_->log(persist::RecordType::kPut, persist::encode(key),
+                  persist::encode(value));
+    }
+  }
+  void log_remove(const K& key) {
+    if constexpr (persist::wal_encodable<K>) {
+      if (wal_ != nullptr)
+        wal_->log(persist::RecordType::kRemove, persist::encode(key), 0);
+    }
+  }
+
+  // Batch flavors: fire-and-forget appends inside the session, ONE
+  // sync-mode ack after end_op — sync=always would otherwise pay a
+  // blocking fsync per record while holding the tracker session open
+  // (stalling the whole domain's reclamation for the batch duration).
+  std::uint64_t log_put_deferred(const K& key, const V& value) {
+    if constexpr (persist::wal_encodable<K> && persist::wal_encodable<V>) {
+      if (wal_ != nullptr)
+        return wal_->append(persist::RecordType::kPut, persist::encode(key),
+                            persist::encode(value));
+    }
+    return 0;
+  }
+  std::uint64_t log_remove_deferred(const K& key) {
+    if constexpr (persist::wal_encodable<K>) {
+      if (wal_ != nullptr)
+        return wal_->append(persist::RecordType::kRemove,
+                            persist::encode(key), 0);
+    }
+    return 0;
+  }
+  void ack_log(std::uint64_t lsn) {
+    if (wal_ != nullptr) wal_->ack(lsn);
+  }
+
   Tracker tracker_;  ///< the shard's reclamation domain
   Facade batched_;
   Map map_;
+  persist::ShardWal* wal_ = nullptr;  ///< owned by the store's Table
   util::PerThreadCounters<kLanes> ops_;
 };
 

@@ -46,6 +46,11 @@ struct ShardStats {
   /// this shard's domain; not user puts).
   std::uint64_t migrated_in = 0;
 
+  // ---- durability (0 when persistence is disabled) ----
+  std::uint64_t wal_appended_lsn = 0;  ///< last LSN reserved on the stream
+  std::uint64_t wal_durable_lsn = 0;   ///< durable watermark (free gate)
+  std::uint64_t wal_fsyncs = 0;
+
   std::uint64_t ops() const noexcept { return gets + puts + removes + updates; }
 };
 
@@ -76,6 +81,10 @@ struct KvStats {
   std::uint64_t forwarded_ops = 0;
   std::vector<ResizeRecord> resizes; ///< one ledger entry per resize
 
+  // ---- durability (src/persist/) ----
+  bool persist_enabled = false;
+  std::uint64_t snapshots_written = 0;  ///< compactions since open
+
   ShardStats total() const noexcept {
     ShardStats t;
     for (const ShardStats& s : shards) {
@@ -94,6 +103,9 @@ struct KvStats {
       t.value_cell_retires += s.value_cell_retires;
       t.batched_ops += s.batched_ops;
       t.migrated_in += s.migrated_in;
+      t.wal_appended_lsn += s.wal_appended_lsn;
+      t.wal_durable_lsn += s.wal_durable_lsn;
+      t.wal_fsyncs += s.wal_fsyncs;
     }
     return t;
   }
@@ -119,6 +131,9 @@ inline void to_json(util::JsonWriter& j, const ShardStats& s) {
   j.kv("value_cell_retires", s.value_cell_retires);
   j.kv("batched_ops", s.batched_ops);
   j.kv("migrated_in", s.migrated_in);
+  j.kv("wal_appended_lsn", s.wal_appended_lsn);
+  j.kv("wal_durable_lsn", s.wal_durable_lsn);
+  j.kv("wal_fsyncs", s.wal_fsyncs);
   j.end_object();
 }
 

@@ -1,0 +1,152 @@
+#pragma once
+// Crash recovery for the durability subsystem: scan the persistence
+// directory, decide the store geometry, then replay the newest valid
+// snapshot plus the WAL tails into a caller-provided sink.
+//
+// Two phases, because the kv store must be CONSTRUCTED (at the right
+// shard count and table epoch) before records can be applied to it:
+//
+//   plan_recovery(dir)  — reads snapshot headers and every stream's
+//     control records; yields the final geometry and the per-stream
+//     valid-prefix boundaries.  Geometry resolution:
+//       1. start from the newest VALID snapshot (CRC-checked; invalid
+//          ones are skipped downward), else the caller's config;
+//       2. every durable RESIZE_BEGIN with a newer target epoch moves
+//          the geometry to its `to_shards` — RESIZE_BEGIN is written
+//          durably BEFORE the new epoch's streams are created, so a
+//          crash mid-migration recovers at the announced geometry and
+//          the half-migrated keys simply replay into it (a key writes
+//          records in the new epoch only after its source bucket froze,
+//          so per-key LSN order spans epochs correctly);
+//       3. streams on disk for an even newer epoch (possible only under
+//          manual tampering) still bump the epoch, with the shard count
+//          inferred from the stream files — every shard's stream is
+//          created with the table, so the file count is the geometry.
+//
+//   replay(plan, put, remove) — applies the snapshot pairs, then every
+//     epoch's streams in ascending epoch order, skipping records the
+//     snapshot already covers (lsn <= mark for the snapshot's own
+//     epoch).  Within an epoch streams are key-disjoint, so their
+//     relative order is irrelevant; across epochs, per-key order is
+//     ascending-epoch by the freeze argument above.  Torn final records
+//     were already cut off by the stream reader (CRC / contiguity), so
+//     a lost tail is exactly "the unacknowledged suffix never
+//     happened".
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "persist/snapshot.hpp"
+#include "persist/wal.hpp"
+
+namespace wfe::persist {
+
+struct RecoveryPlan {
+  bool has_state = false;       ///< anything (snapshot or records) found
+  std::uint64_t epoch = 1;      ///< table epoch to reopen at
+  std::uint64_t shard_count = 0;  ///< 0 = nothing recovered, use config
+  std::uint64_t max_snapshot_id = 0;  ///< newest id on disk (even invalid)
+  bool snapshot_valid = false;
+  SnapshotImage snapshot;       ///< loaded pairs + marks when valid
+  std::vector<StreamFiles> streams;  ///< replay set, (epoch, shard) order
+  /// Completed resizes seen in the log (tests / observability).
+  std::vector<std::uint64_t> resize_end_epochs;
+};
+
+inline RecoveryPlan plan_recovery(const std::string& dir) {
+  ::mkdir(dir.c_str(), 0755);
+  RecoveryPlan plan;
+  DirListing ls = list_dir(dir);
+  plan.has_state = !ls.streams.empty() || !ls.snapshots.empty();
+
+  for (const auto& [id, path] : ls.snapshots) {
+    plan.max_snapshot_id = std::max(plan.max_snapshot_id, id);
+    if (!plan.snapshot_valid && read_snapshot(path, plan.snapshot))
+      plan.snapshot_valid = true;  // newest-first listing: first hit wins
+  }
+  if (plan.snapshot_valid) {
+    plan.epoch = plan.snapshot.epoch;
+    plan.shard_count = plan.snapshot.shards;
+  }
+
+  // Geometry pass: control records + stream files move the epoch
+  // forward from the snapshot baseline.
+  std::uint64_t file_epoch = 0, file_shards = 0;
+  for (const StreamFiles& sf : ls.streams) {
+    if (sf.epoch > file_epoch) {
+      file_epoch = sf.epoch;
+      file_shards = 0;
+    }
+    if (sf.epoch == file_epoch) ++file_shards;
+    if (sf.epoch < plan.epoch) continue;  // superseded by the snapshot
+    for (const Record& r : read_stream(sf)) {
+      if (r.type == RecordType::kResizeBegin && r.value > plan.epoch) {
+        plan.epoch = r.value;
+        plan.shard_count = packed_to(r.key);
+      } else if (r.type == RecordType::kResizeEnd) {
+        plan.resize_end_epochs.push_back(r.value);
+      }
+    }
+  }
+  if (file_epoch > plan.epoch) {
+    plan.epoch = file_epoch;
+    plan.shard_count = file_shards;
+  }
+
+  // Replay set: the snapshot's epoch and everything after it.
+  const std::uint64_t floor_epoch = plan.snapshot_valid ? plan.snapshot.epoch : 0;
+  for (StreamFiles& sf : ls.streams)
+    if (sf.epoch >= floor_epoch) plan.streams.push_back(std::move(sf));
+  return plan;
+}
+
+/// Applies the plan: snapshot pairs first, then WAL tails in ascending
+/// epoch order.  `put(key, value)` and `remove(key)` receive raw u64s;
+/// the kv layer decodes them.
+template <class PutFn, class RemoveFn>
+void replay(const RecoveryPlan& plan, PutFn&& put, RemoveFn&& remove) {
+  if (plan.snapshot_valid)
+    for (const auto& [k, v] : plan.snapshot.pairs) put(k, v);
+  for (const StreamFiles& sf : plan.streams) {
+    const bool snap_epoch =
+        plan.snapshot_valid && sf.epoch == plan.snapshot.epoch;
+    const std::uint64_t mark =
+        snap_epoch && sf.shard < plan.snapshot.marks.size()
+            ? plan.snapshot.marks[sf.shard]
+            : 0;
+    for (const Record& r : read_stream(sf)) {
+      if (r.lsn <= mark) continue;  // covered by the snapshot dump
+      if (r.type == RecordType::kPut)
+        put(r.key, r.value);
+      else if (r.type == RecordType::kRemove)
+        remove(r.key);
+      // Control records (RESIZE_*, SNAPSHOT_MARK) carry no data.
+    }
+  }
+}
+
+/// Post-snapshot truncation of fully superseded files: every stream of
+/// an epoch OLDER than the snapshot's, and every snapshot older than
+/// the previous one (the newest-but-one is kept as the fallback the
+/// "newest VALID snapshot" search needs).  Same-epoch segment deletion
+/// is per-stream (ShardWal::truncate_through).  Returns files deleted.
+inline std::size_t truncate_superseded(const std::string& dir,
+                                       std::uint64_t snapshot_epoch,
+                                       std::uint64_t newest_snapshot_id) {
+  std::size_t deleted = 0;
+  DirListing ls = list_dir(dir);
+  for (const StreamFiles& sf : ls.streams) {
+    if (sf.epoch >= snapshot_epoch) continue;
+    for (const auto& [seg, path] : sf.segments)
+      if (::unlink(path.c_str()) == 0) ++deleted;
+  }
+  for (const auto& [id, path] : ls.snapshots)
+    if (id + 1 < newest_snapshot_id && ::unlink(path.c_str()) == 0) ++deleted;
+  return deleted;
+}
+
+}  // namespace wfe::persist

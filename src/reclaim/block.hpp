@@ -27,6 +27,11 @@ struct Block {
   std::uint64_t retire_era{0};
   /// Intrusive link for the owning thread's retire list.
   Block* retire_next{nullptr};
+  /// WAL LSN the block's unlink must wait out before it may be freed
+  /// (durability gate, kv/batch_retire.hpp): a displaced value cell is
+  /// handed to the domain tracker only once the record that superseded
+  /// it is durable.  0 = ungated (no persistence attached).
+  std::uint64_t persist_lsn{0};
   /// Destroys the complete node (set by Tracker::alloc).
   void (*deleter)(Block*) {nullptr};
 

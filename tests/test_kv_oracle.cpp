@@ -15,6 +15,8 @@
 //
 // Runs across all 8 trackers and BOTH upsert paths: the in-place
 // value-cell swap (put) and the legacy remove+re-insert (put_copy).
+// The recorded streams cover every cross-shard multi-op — multi_get,
+// multi_put and multi_remove — against per-key reference results.
 //
 // Resize-aware mode: a dedicated control thread interleaves online
 // resize() calls with each phase's traffic (and phases themselves start
@@ -61,7 +63,7 @@ unsigned ops_per_thread() {
 
 struct Op {
   enum Kind : std::uint8_t { kInsert, kPut, kUpdate, kRemove, kGet,
-                             kMultiPut, kMultiGet };
+                             kMultiPut, kMultiGet, kMultiRemove };
   Kind kind;
   std::uint64_t key;    // base key for multi-ops
   std::uint64_t value;
@@ -82,10 +84,11 @@ std::vector<Op> record_stream(unsigned tid, unsigned phase) {
     op.kind = r < 3   ? Op::kInsert
               : r < 6 ? Op::kPut
               : r < 8 ? Op::kUpdate
-              : r < 11 ? Op::kRemove
-              : r < 14 ? Op::kGet
-              : r < 15 ? Op::kMultiPut
-                       : Op::kMultiGet;
+              : r < 10 ? Op::kRemove
+              : r < 13 ? Op::kGet
+              : r < 14 ? Op::kMultiPut
+              : r < 15 ? Op::kMultiGet
+                       : Op::kMultiRemove;
     // Multi-ops use kMultiBatch consecutive keys starting at key; keep
     // the span inside the slice so the stream stays slice-local.
     op.key = base + rng.next_bounded(kSlice - kMultiBatch);
@@ -189,6 +192,21 @@ void replay(Store<TR>& store, Reference& ref, const std::vector<Op>& ops,
         store.multi_get(mkeys.data(), kMultiBatch, mout.data(), tid);
         for (std::size_t i = 0; i < kMultiBatch; ++i)
           ASSERT_EQ(mout[i], ref.get(mkeys[i])) << "multi_get key " << mkeys[i];
+        break;
+      }
+      case Op::kMultiRemove: {
+        for (std::size_t i = 0; i < kMultiBatch; ++i) mkeys[i] = op.key + i;
+        std::vector<std::optional<std::uint64_t>> ref_out(kMultiBatch);
+        std::size_t ref_removed = 0;
+        for (std::size_t i = 0; i < kMultiBatch; ++i) {
+          ref_out[i] = ref.remove(mkeys[i]);
+          ref_removed += ref_out[i].has_value() ? 1 : 0;
+        }
+        ASSERT_EQ(store.multi_remove(mkeys.data(), kMultiBatch, mout.data(),
+                                     tid),
+                  ref_removed);
+        for (std::size_t i = 0; i < kMultiBatch; ++i)
+          ASSERT_EQ(mout[i], ref_out[i]) << "multi_remove key " << mkeys[i];
         break;
       }
     }

@@ -261,6 +261,115 @@ void run_stress() {
     EXPECT_GT(st.forwarded_ops, 0u);
 }
 
+/// Multi-op-only traffic across migrations: every writer issues nothing
+/// but WIDE multi_put / multi_remove / multi_get spans (width 32, so a
+/// span regularly straddles several buckets and shards) while the
+/// control thread cycles resizes.  This pins the frozen-key DEFERRAL
+/// path — keys whose bucket froze mid-session are pulled out of the
+/// span, regrouped for the destination geometry and re-dispatched —
+/// under live migration, with every per-op result asserted against a
+/// sequential expected-map (disjoint slices keep results deterministic).
+template <class TR>
+void run_multi_op_stress() {
+  const unsigned ops = env_unsigned("WFE_TEST_OPS", 20000) / 8 + 64;
+  const unsigned resizes = env_unsigned("WFE_TEST_RESIZES", 8);
+  constexpr std::size_t kWide = 32;
+
+  Store<TR> store(stress_cfg<TR>());
+  std::atomic<bool> resizes_done{false};
+  std::vector<std::map<std::uint64_t, std::uint64_t>> expected(kWriters);
+  std::vector<std::thread> threads;
+
+  for (unsigned w = 0; w < kWriters; ++w)
+    threads.emplace_back([&, w] {
+      util::Xoshiro256 rng(0x3333ULL + w * 7919);
+      const std::uint64_t base = 1 + w * kSlice;
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> mputs(kWide);
+      std::vector<std::uint64_t> mkeys(kWide);
+      std::vector<std::optional<std::uint64_t>> mout(kWide);
+      auto& exp = expected[w];
+      for (unsigned i = 0;
+           i < ops || !resizes_done.load(std::memory_order_acquire); ++i) {
+        const std::uint64_t k = base + rng.next_bounded(kSlice - kWide);
+        const std::uint64_t v = rng.next() | 1;
+        switch (rng.next_bounded(4)) {
+          case 0: case 1: {
+            std::size_t want_inserted = 0;
+            for (std::size_t j = 0; j < kWide; ++j) {
+              mputs[j] = {k + j, v + j};
+              if (exp.find(k + j) == exp.end()) ++want_inserted;
+              exp[k + j] = v + j;
+            }
+            ASSERT_EQ(store.multi_put(mputs.data(), kWide, w), want_inserted);
+            break;
+          }
+          case 2: {
+            std::size_t want_removed = 0;
+            for (std::size_t j = 0; j < kWide; ++j) {
+              mkeys[j] = k + j;
+              want_removed += exp.count(k + j);
+            }
+            ASSERT_EQ(store.multi_remove(mkeys.data(), kWide, mout.data(), w),
+                      want_removed);
+            for (std::size_t j = 0; j < kWide; ++j) {
+              const auto it = exp.find(mkeys[j]);
+              if (it == exp.end()) {
+                ASSERT_FALSE(mout[j].has_value());
+              } else {
+                ASSERT_EQ(mout[j], std::make_optional(it->second));
+                exp.erase(it);
+              }
+            }
+            break;
+          }
+          default: {
+            for (std::size_t j = 0; j < kWide; ++j) mkeys[j] = k + j;
+            store.multi_get(mkeys.data(), kWide, mout.data(), w);
+            for (std::size_t j = 0; j < kWide; ++j) {
+              const auto it = exp.find(mkeys[j]);
+              if (it == exp.end()) {
+                ASSERT_FALSE(mout[j].has_value()) << "ghost key " << mkeys[j];
+              } else {
+                ASSERT_EQ(mout[j], std::make_optional(it->second));
+              }
+            }
+            break;
+          }
+        }
+      }
+      store.flush_retired(w);
+    });
+
+  std::thread control([&] {
+    static constexpr std::size_t kCycle[] = {8, 2, 16, 1, 32, 4};
+    for (unsigned done = 0; done < resizes; ++done) {
+      store.resize(kCycle[done % (sizeof(kCycle) / sizeof(kCycle[0]))],
+                   kControlTid);
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+    resizes_done.store(true, std::memory_order_release);
+    store.flush_retired(kControlTid);
+  });
+
+  control.join();
+  for (auto& t : threads) t.join();
+
+  std::map<std::uint64_t, std::uint64_t> got;
+  store.for_each_unsafe([&](std::uint64_t k, std::uint64_t v) {
+    ASSERT_TRUE(got.emplace(k, v).second) << "duplicate key " << k;
+  });
+  std::map<std::uint64_t, std::uint64_t> want;
+  for (const auto& m : expected) want.insert(m.begin(), m.end());
+  ASSERT_EQ(got, want) << "store diverged from the multi-op ledgers";
+
+  const kv::KvStats st = store.stats();
+  for (const kv::ResizeRecord& r : st.resizes) {
+    EXPECT_EQ(r.cells_retired, r.migrated_keys);
+    EXPECT_GE(r.nodes_retired, r.migrated_keys);
+  }
+  EXPECT_GT(st.total().batched_ops, 0u);
+}
+
 /// Concurrent auto-grow: writers alone push the load factor over the
 /// trigger repeatedly; growth runs inline on whichever writer's check
 /// fires first (racing checks serialize on the resize mutex).
@@ -308,6 +417,10 @@ TYPED_TEST(ReshardStressTest, NoLostKeysMonotonicReadsClosedLedgers) {
 
 TYPED_TEST(ReshardStressTest, AutoGrowUnderConcurrentWriters) {
   run_auto_grow_stress<TypeParam>();
+}
+
+TYPED_TEST(ReshardStressTest, MultiOpsOnlyAcrossResize) {
+  run_multi_op_stress<TypeParam>();
 }
 
 }  // namespace

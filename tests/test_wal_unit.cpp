@@ -1,0 +1,404 @@
+// WAL unit contracts (src/persist/): the record codec, the segment /
+// stream readers' torn-tail and corruption behavior, ShardWal's
+// append/flush/durable/rotate/resume lifecycle, the snapshot file
+// format, and the BatchedTracker durability gate.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "kv/batch_retire.hpp"
+#include "persist/group_commit.hpp"
+#include "persist/recovery.hpp"
+#include "persist/snapshot.hpp"
+#include "persist/wal.hpp"
+#include "reclaim/ebr.hpp"
+#include "tracker_types.hpp"
+
+namespace {
+
+using namespace wfe;
+using persist::Record;
+using persist::RecordType;
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/wfe_wal_XXXXXX";
+    path = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// Appends raw records (valid encoding) to a file, returning the path.
+std::string write_raw(const std::string& dir, const std::string& name,
+                      const std::vector<Record>& recs,
+                      std::size_t extra_garbage = 0) {
+  const std::string path = dir + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  unsigned char buf[persist::kRecordSize];
+  for (const Record& r : recs) {
+    persist::encode_record(r, buf);
+    std::fwrite(buf, 1, sizeof buf, f);
+  }
+  for (std::size_t i = 0; i < extra_garbage; ++i) std::fputc(0x5A, f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(WalRecord, RoundTripsAndRejectsEveryFlippedByte) {
+  Record in{RecordType::kPut, 42, 0xDEADBEEFull, 0xFEEDFACEull};
+  unsigned char buf[persist::kRecordSize];
+  persist::encode_record(in, buf);
+  Record out{};
+  ASSERT_TRUE(persist::decode_record(buf, out));
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.lsn, in.lsn);
+  EXPECT_EQ(out.key, in.key);
+  EXPECT_EQ(out.value, in.value);
+  for (std::size_t i = 0; i < persist::kRecordSize; ++i) {
+    unsigned char tampered[persist::kRecordSize];
+    std::memcpy(tampered, buf, sizeof buf);
+    tampered[i] ^= 0x40;
+    Record r{};
+    EXPECT_FALSE(persist::decode_record(tampered, r)) << "flipped byte " << i;
+  }
+}
+
+TEST(WalRecord, RejectsOutOfRangeType) {
+  Record in{RecordType::kPut, 1, 2, 3};
+  unsigned char buf[persist::kRecordSize];
+  persist::encode_record(in, buf);
+  buf[4] = 0;  // type below kPut, with a recomputed (valid) CRC
+  const std::uint32_t crc = util::crc32c(buf + 4, persist::kRecordSize - 4);
+  std::memcpy(buf, &crc, 4);
+  Record r{};
+  EXPECT_FALSE(persist::decode_record(buf, r));
+}
+
+TEST(WalReader, TornTailIsIgnored) {
+  TempDir td;
+  std::vector<Record> recs;
+  for (std::uint64_t i = 1; i <= 5; ++i)
+    recs.push_back({RecordType::kPut, i, i * 10, i * 100});
+  const std::string path =
+      write_raw(td.path, persist::segment_name(1, 0, 0), recs, /*garbage=*/17);
+  std::uint64_t bytes = 0;
+  const std::vector<Record> got = persist::read_segment(path, bytes);
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(bytes, 5 * persist::kRecordSize);
+  EXPECT_EQ(got.back().lsn, 5u);
+}
+
+TEST(WalReader, CorruptRecordEndsTheStream) {
+  TempDir td;
+  std::vector<Record> recs;
+  for (std::uint64_t i = 1; i <= 5; ++i)
+    recs.push_back({RecordType::kPut, i, i, i});
+  const std::string path =
+      write_raw(td.path, persist::segment_name(1, 0, 0), recs);
+  // Flip one byte inside record 3 (index 2).
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  std::fseek(f, static_cast<long>(2 * persist::kRecordSize + 20), SEEK_SET);
+  std::fputc(0x7F, f);
+  std::fclose(f);
+  std::uint64_t bytes = 0;
+  const std::vector<Record> got = persist::read_segment(path, bytes);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got.back().lsn, 2u);
+}
+
+TEST(WalReader, LsnGapEndsTheStream) {
+  TempDir td;
+  const std::string path = write_raw(
+      td.path, persist::segment_name(1, 0, 0),
+      {{RecordType::kPut, 1, 1, 1}, {RecordType::kPut, 2, 2, 2},
+       {RecordType::kPut, 4, 4, 4}});
+  std::uint64_t bytes = 0;
+  EXPECT_EQ(persist::read_segment(path, bytes).size(), 2u);
+}
+
+TEST(WalReader, StreamSpansSegmentsAndStopsAtCrossSegmentGap) {
+  TempDir td;
+  write_raw(td.path, persist::segment_name(3, 1, 0),
+            {{RecordType::kPut, 1, 1, 1}, {RecordType::kPut, 2, 2, 2}});
+  write_raw(td.path, persist::segment_name(3, 1, 1),
+            {{RecordType::kPut, 3, 3, 3}});
+  write_raw(td.path, persist::segment_name(3, 1, 2),
+            {{RecordType::kPut, 9, 9, 9}});  // gap: unreachable
+  persist::DirListing ls = persist::list_dir(td.path);
+  ASSERT_EQ(ls.streams.size(), 1u);
+  const std::vector<Record> got = persist::read_stream(ls.streams[0]);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got.back().lsn, 3u);
+}
+
+TEST(WalWriter, AppendFlushDurableAndResume) {
+  TempDir td;
+  persist::Options opts;
+  opts.sync = persist::SyncMode::kBatched;
+  {
+    persist::ShardWal wal(td.path, 1, 0, opts);
+    for (std::uint64_t i = 1; i <= 100; ++i)
+      wal.append(RecordType::kPut, i, i * 2);
+    wal.flush_now();
+    EXPECT_EQ(wal.appended_lsn(), 100u);
+    EXPECT_EQ(wal.durable_lsn(), 100u);
+    EXPECT_GT(wal.fsyncs(), 0u);
+  }
+  {
+    // Reopen resumes the LSN sequence on the same segment.
+    persist::ShardWal wal(td.path, 1, 0, opts);
+    EXPECT_EQ(wal.appended_lsn(), 100u);
+    EXPECT_EQ(wal.durable_lsn(), 100u);
+    for (std::uint64_t i = 101; i <= 150; ++i)
+      wal.append(RecordType::kPut, i, i);
+    wal.close();
+  }
+  persist::DirListing ls = persist::list_dir(td.path);
+  ASSERT_EQ(ls.streams.size(), 1u);
+  const std::vector<Record> got = persist::read_stream(ls.streams[0]);
+  ASSERT_EQ(got.size(), 150u);
+  for (std::uint64_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i].lsn, i + 1);
+}
+
+TEST(WalWriter, AlwaysModeAcksOnlyDurableRecords) {
+  TempDir td;
+  persist::Options opts;
+  opts.sync = persist::SyncMode::kAlways;
+  persist::ShardWal wal(td.path, 1, 0, opts);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    const std::uint64_t lsn = wal.log(RecordType::kPut, i, i);
+    EXPECT_GE(wal.durable_lsn(), lsn);  // log() returned => fsynced
+  }
+}
+
+TEST(WalWriter, OpenTruncatesTornTail) {
+  TempDir td;
+  persist::Options opts;
+  {
+    persist::ShardWal wal(td.path, 1, 0, opts);
+    for (std::uint64_t i = 1; i <= 10; ++i) wal.append(RecordType::kPut, i, i);
+    wal.flush_now();
+    wal.close();
+  }
+  const std::string path = td.path + "/" + persist::segment_name(1, 0, 0);
+  ASSERT_EQ(::truncate(path.c_str(), 8 * persist::kRecordSize + 13), 0);
+  {
+    persist::ShardWal wal(td.path, 1, 0, opts);
+    EXPECT_EQ(wal.appended_lsn(), 8u);  // torn record 9 cut away
+    wal.append(RecordType::kPut, 99, 99);
+    wal.flush_now();
+    wal.close();
+  }
+  persist::DirListing ls = persist::list_dir(td.path);
+  const std::vector<Record> got = persist::read_stream(ls.streams[0]);
+  ASSERT_EQ(got.size(), 9u);
+  EXPECT_EQ(got.back().key, 99u);
+  EXPECT_EQ(got.back().lsn, 9u);
+}
+
+TEST(WalWriter, OpenAfterMidStreamGapDropsGarbageAndResumesLive) {
+  TempDir td;
+  // Segments 0 and 1 are a contiguous prefix; segment 2 starts at LSN 9
+  // (mid-stream rot) and is unreachable garbage.
+  write_raw(td.path, persist::segment_name(1, 0, 0),
+            {{RecordType::kPut, 1, 1, 1}, {RecordType::kPut, 2, 2, 2}});
+  write_raw(td.path, persist::segment_name(1, 0, 1),
+            {{RecordType::kPut, 3, 3, 3}, {RecordType::kPut, 4, 4, 4}});
+  write_raw(td.path, persist::segment_name(1, 0, 2),
+            {{RecordType::kPut, 9, 9, 9}});
+  persist::Options opts;
+  {
+    persist::ShardWal wal(td.path, 1, 0, opts);
+    EXPECT_EQ(wal.appended_lsn(), 4u);  // resumes after the valid prefix
+    wal.append(RecordType::kPut, 5, 5);
+    wal.flush_now();
+    // Truncating through the closed prefix must never touch the live
+    // segment (segment 1 is live again, NOT a deletable closed one).
+    wal.truncate_through(4);
+    wal.close();
+  }
+  persist::DirListing ls = persist::list_dir(td.path);
+  ASSERT_EQ(ls.streams.size(), 1u);
+  const std::vector<Record> got = persist::read_stream(ls.streams[0]);
+  ASSERT_EQ(got.size(), 3u);  // 3,4 (live segment) + the new 5
+  EXPECT_EQ(got.front().lsn, 3u);
+  EXPECT_EQ(got.back().lsn, 5u);
+  EXPECT_EQ(got.back().key, 5u);
+}
+
+TEST(WalWriter, RotationAndTruncationDropWholeSegments) {
+  TempDir td;
+  persist::Options opts;
+  persist::ShardWal wal(td.path, 1, 0, opts);
+  for (std::uint64_t i = 1; i <= 50; ++i) wal.append(RecordType::kPut, i, i);
+  wal.rotate_at(50);
+  wal.flush_now();
+  for (std::uint64_t i = 51; i <= 80; ++i) wal.append(RecordType::kPut, i, i);
+  wal.flush_now();
+  EXPECT_EQ(wal.truncate_through(50), 1u);  // seg 0 wholly <= 50: deleted
+  wal.close();
+  persist::DirListing ls = persist::list_dir(td.path);
+  ASSERT_EQ(ls.streams.size(), 1u);
+  ASSERT_EQ(ls.streams[0].segments.size(), 1u);  // only the live segment
+  const std::vector<Record> got = persist::read_stream(ls.streams[0]);
+  ASSERT_EQ(got.size(), 30u);
+  EXPECT_EQ(got.front().lsn, 51u);
+  EXPECT_EQ(got.back().lsn, 80u);
+}
+
+TEST(Snapshot, RoundTripAndCrcRejection) {
+  TempDir td;
+  persist::SnapshotImage img;
+  img.id = 7;
+  img.epoch = 3;
+  img.shards = 2;
+  img.marks = {11, 22};
+  for (std::uint64_t i = 0; i < 100; ++i) img.pairs.emplace_back(i, i * i);
+  ASSERT_TRUE(persist::write_snapshot(td.path, img));
+
+  persist::SnapshotImage in;
+  const std::string path = td.path + "/" + persist::snapshot_name(7);
+  ASSERT_TRUE(persist::read_snapshot(path, in));
+  EXPECT_EQ(in.id, 7u);
+  EXPECT_EQ(in.epoch, 3u);
+  EXPECT_EQ(in.marks, img.marks);
+  EXPECT_EQ(in.pairs, img.pairs);
+
+  // Corrupt one byte: the load must reject the file.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  std::fseek(f, 64, SEEK_SET);
+  std::fputc(0x01, f);
+  std::fclose(f);
+  persist::SnapshotImage bad;
+  EXPECT_FALSE(persist::read_snapshot(path, bad));
+
+  // plan_recovery walks past the invalid snapshot to an older valid one.
+  img.id = 5;
+  ASSERT_TRUE(persist::write_snapshot(td.path, img));
+  persist::RecoveryPlan plan = persist::plan_recovery(td.path);
+  EXPECT_TRUE(plan.snapshot_valid);
+  EXPECT_EQ(plan.snapshot.id, 5u);
+  EXPECT_EQ(plan.max_snapshot_id, 7u);
+}
+
+TEST(Snapshot, TruncateSupersededKeepsNewestTwo) {
+  TempDir td;
+  persist::SnapshotImage img;
+  img.shards = 0;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    img.id = id;
+    img.epoch = 2;
+    ASSERT_TRUE(persist::write_snapshot(td.path, img));
+  }
+  write_raw(td.path, persist::segment_name(1, 0, 0),
+            {{RecordType::kPut, 1, 1, 1}});  // epoch 1 < snapshot epoch 2
+  persist::truncate_superseded(td.path, /*snapshot_epoch=*/2,
+                               /*newest_snapshot_id=*/4);
+  persist::DirListing ls = persist::list_dir(td.path);
+  EXPECT_TRUE(ls.streams.empty());  // old-epoch stream deleted
+  ASSERT_EQ(ls.snapshots.size(), 2u);
+  EXPECT_EQ(ls.snapshots[0].first, 4u);
+  EXPECT_EQ(ls.snapshots[1].first, 3u);
+}
+
+// ---- the durability gate (kv/batch_retire.hpp) ----
+
+TEST(DurabilityGate, HoldsFreesUntilTheWatermarkCovers) {
+  TempDir td;
+  persist::Options opts;
+  opts.sync = persist::SyncMode::kBatched;
+  persist::ShardWal wal(td.path, 1, 0, opts);
+  wal.suppress_sync(true);  // watermark frozen: nothing becomes durable
+
+  reclaim::TrackerConfig tc;
+  tc.max_threads = 2;
+  tc.retire_batch = 1;  // every retire attempts a flush
+  reclaim::EbrTracker inner(tc);
+  kv::BatchedTracker<reclaim::EbrTracker> batched(inner);
+  batched.set_wal(&wal);
+
+  // Model the real op order: the displaced block is unlinked (retired)
+  // first, the superseding record appended right after — the stamp is
+  // exactly that record's LSN.
+  for (int i = 0; i < 16; ++i) {
+    batched.retire(batched.alloc<test::CountedNode>(0), 0);
+    wal.append(RecordType::kPut, static_cast<std::uint64_t>(i), 0);
+  }
+  // Stamps are > 0 = durable watermark, so nothing may reach the inner
+  // tracker no matter how often the batch trigger fires.
+  EXPECT_EQ(inner.retired(), 0u);
+  EXPECT_EQ(batched.pending_count(0), 16u);
+
+  wal.suppress_sync(false);
+  wal.flush_now();  // watermark catches up to every stamp
+  batched.flush(0);
+  EXPECT_EQ(inner.retired(), 16u);
+  EXPECT_EQ(batched.pending_count(0), 0u);
+}
+
+TEST(DurabilityGate, PartialWatermarkReleasesOnlyCoveredBlocks) {
+  TempDir td;
+  persist::Options opts;
+  persist::ShardWal wal(td.path, 1, 0, opts);
+
+  reclaim::TrackerConfig tc;
+  tc.max_threads = 2;
+  tc.retire_batch = 64;  // no auto flush: we drive it by hand
+  reclaim::EbrTracker inner(tc);
+  kv::BatchedTracker<reclaim::EbrTracker> batched(inner);
+  batched.set_wal(&wal);
+
+  // Three blocks whose superseding records get LSNs 1, 2, 3 (unlink
+  // then append, as the shard op order does); make only 1..2 durable.
+  for (int i = 0; i < 2; ++i) {
+    batched.retire(batched.alloc<test::CountedNode>(0), 0);
+    wal.append(RecordType::kPut, 1, 1);
+  }
+  wal.flush_now();
+  wal.suppress_sync(true);
+  batched.retire(batched.alloc<test::CountedNode>(0), 0);
+  wal.append(RecordType::kPut, 2, 2);
+  batched.flush(0);
+  EXPECT_EQ(inner.retired(), 2u);       // stamps 1 and 2 released
+  EXPECT_EQ(batched.pending_count(0), 1u);  // stamp 3 still gated
+  wal.suppress_sync(false);
+  wal.flush_now();
+  batched.flush(0);
+  EXPECT_EQ(inner.retired(), 3u);
+}
+
+TEST(DurabilityGate, TeardownBypassesTheGate) {
+  TempDir td;
+  persist::Options opts;
+  persist::ShardWal wal(td.path, 1, 0, opts);
+  wal.suppress_sync(true);
+
+  reclaim::TrackerConfig tc;
+  tc.max_threads = 2;
+  tc.retire_batch = 64;
+  reclaim::EbrTracker inner(tc);
+  {
+    kv::BatchedTracker<reclaim::EbrTracker> batched(inner);
+    batched.set_wal(&wal);
+    for (int i = 0; i < 5; ++i) {
+      batched.retire(batched.alloc<test::CountedNode>(0), 0);
+      wal.append(RecordType::kPut, 1, 1);
+    }
+    EXPECT_EQ(inner.retired(), 0u);
+  }  // ~BatchedTracker -> flush_all_unsafe: gate bypassed
+  EXPECT_EQ(inner.retired(), 5u);
+}
+
+}  // namespace
