@@ -38,9 +38,11 @@
 // The resize sweep measures the dip-and-recovery profile of one online
 // resize under load, per tracker and thread count: `pre` (steady state
 // at FROM shards), `during` (worker 0 triggers resize(TO) a third of
-// the way into the window and runs the migration inline), `post`
-// (steady state on the migrated store), and `fresh` (a control store
-// CONSTRUCTED at TO shards) — post vs fresh is the recovery headline.
+// the way into the window and drives the migration, with the other
+// workers helping cooperatively whenever they hit a frozen bucket —
+// rows carry helped_buckets / help_conflicts), `post` (steady state on
+// the migrated store), and `fresh` (a control store CONSTRUCTED at TO
+// shards) — post vs fresh is the recovery headline.
 //
 // The non-read half of the mix is ALWAYS an upsert over the full key
 // range, so at the default prefill (half the range) a write replaces a
@@ -418,10 +420,13 @@ void run_resize_one(const Params& pp, util::JsonWriter& j, unsigned nthreads) {
   const kv::KvStats st = store->stats();
   std::printf(
       "%-8s RESIZE %u->%u threads=%-3u pre=%7.3f during=%7.3f post=%7.3f "
-      "fresh=%7.3f Mops/s  migrated=%llu forwarded=%llu\n",
+      "fresh=%7.3f Mops/s  migrated=%llu forwarded=%llu helped=%llu "
+      "conflicts=%llu\n",
       TR::name(), pp.resize_from, pp.resize_to, nthreads, pre, during, post,
       fresh, static_cast<unsigned long long>(st.migrated_keys),
-      static_cast<unsigned long long>(st.forwarded_ops));
+      static_cast<unsigned long long>(st.forwarded_ops),
+      static_cast<unsigned long long>(st.helped_buckets),
+      static_cast<unsigned long long>(st.help_conflicts));
 
   j.begin_object();
   j.kv("tracker", TR::name());
@@ -438,6 +443,8 @@ void run_resize_one(const Params& pp, util::JsonWriter& j, unsigned nthreads) {
   j.kv("fresh_mops", fresh);
   j.kv("migrated_keys", st.migrated_keys);
   j.kv("forwarded_ops", st.forwarded_ops);
+  j.kv("helped_buckets", st.helped_buckets);
+  j.kv("help_conflicts", st.help_conflicts);
   j.kv("resize_epochs", st.resize_epochs);
   j.key("resizes").begin_array();
   for (const auto& r : st.resizes) to_json(j, r);

@@ -112,8 +112,17 @@ class BucketArray {
     return bucket(key).try_remove_in_op(key, tid, out);
   }
 
-  // ---- migration primitives, by bucket index (kv resharding; single
-  // designated migrator per bucket — see HmList for the protocol) ----
+  // ---- migration primitives, by bucket index (kv resharding; freeze
+  // is idempotent and concurrency-safe, collect/drain are exactly-once
+  // under the store's per-bucket claim — see HmList for the protocol) ----
+  void freeze_bucket(std::size_t i, unsigned tid) {
+    buckets_[i].list->freeze(tid);
+  }
+  void collect_frozen_bucket(std::size_t i,
+                             std::vector<std::pair<K, V>>& pairs,
+                             std::vector<bool>& node_live) const {
+    buckets_[i].list->collect_frozen(pairs, node_live);
+  }
   void freeze_and_collect(std::size_t i, unsigned tid,
                           std::vector<std::pair<K, V>>& pairs,
                           std::vector<bool>& node_live) {

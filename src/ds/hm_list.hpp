@@ -20,12 +20,17 @@
 // a cell is retired only by the thread that atomically unlinked its
 // pointer — via a cell CAS or the delete mark — so each cell is retired
 // exactly once, and always after it became unreachable from the node):
-//   1. remove() linearizes by fetch_or-ing the MARK bit into the CELL
-//      word.  The winner owns the displaced cell: it reads the return
-//      value out of it and retires it.  The mark is never cleared, so a
-//      marked cell word is a tombstone: readers treat the key as absent,
-//      updaters' CAS (which expects an unmarked word) can never succeed
-//      against it.
+//   1. remove() linearizes by CASing the MARK bit into the CELL word
+//      (expecting it unmarked AND unfrozen).  The winner owns the
+//      displaced cell: it reads the return value out of it and retires
+//      it.  The mark is never cleared, so a marked cell word is a
+//      tombstone: readers treat the key as absent, updaters' CAS (which
+//      expects an unmarked word) can never succeed against it.  Using a
+//      CAS — not a fetch_or — means a mark can never land on a frozen
+//      word: frozen cell words are IMMUTABLE, so "marked" is an
+//      authoritative liveness verdict at any time after the freeze
+//      (the property cooperative migration's repeatable collection
+//      walk rests on; see below).
 //   2. Only then is the node's `next` marked (Harris's logical delete)
 //      and the node unlinked/retired exactly as before.  A cell-marked
 //      node therefore always becomes next-marked; the ordering
@@ -53,26 +58,38 @@
 // store's cross-shard multi_get/multi_put); the bracketed entry points
 // below are single-op conveniences over them.
 //
-// Bucket freeze (kv online resharding): a designated migrator calls
-// freeze_and_collect(), which fetch_or-s util::kFreezeBit into the head
-// word, then walks the list freezing every `next` word BEFORE following
-// it and every cell word of each node it passes.  Every mutation CAS in
+// Bucket freeze (kv online resharding, cooperative since the help
+// protocol): freeze() fetch_or-s util::kFreezeBit into the head word,
+// then walks the list freezing every `next` word BEFORE following it
+// and every cell word of each node it passes.  Every mutation CAS in
 // this file expects an unfrozen word, so once a link is frozen no
 // insert/unlink can succeed against it, and a successful insert can only
 // land on a link the freezer has not reached yet — which it then walks
-// through.  remove()'s cell fetch_or cannot fail, so it checks the prior
-// word: a freeze bit there means the remover did NOT claim the cell
-// (the stray mark it left is ignored — liveness was captured at freeze
-// time).  Every try_* operation that observes a freeze bit aborts with
-// "frozen" instead of retrying; the kv store then waits for the bucket's
-// migration flag and re-executes against the destination table.  After
-// the destination holds all live pairs, drain_frozen() pops the frozen
-// list node by node — overwriting head and each popped node's next word
-// BEFORE retiring, so protect_word validation can never re-acquire a
-// retired block — and retires nodes plus the cells that were live at
-// freeze time in THIS bucket's (the source shard's) domain.  Frozen
-// buckets stay frozen forever; the plain entry points below must never
-// run against a freezable bucket (the kv store uses try_* only).
+// through.  The walk is built entirely from idempotent fetch_ors, so
+// ANY NUMBER of threads may freeze the same bucket concurrently (the kv
+// store's resizer freezes ahead of its migrate cursor while helpers
+// re-freeze the bucket they claimed): each freezer's own completed walk
+// proves the bucket fully frozen, regardless of what the others did.
+// After any complete walk the frozen list is structurally immutable —
+// pointer bits never change again, and (because remove()'s cell mark is
+// a CAS that a freeze bit defeats) cell words never change again either;
+// the only residual motion is finish_remove() fetch_or-ing the Harris
+// mark into a DEAD node's next word, which changes no liveness verdict.
+// collect_frozen() is therefore a pure read walk any claim holder can
+// run after its freeze: a node is live iff its cell word is unmarked
+// (next-marked implies cell-marked, so the cell word alone decides).
+// Every try_* operation that observes a freeze bit aborts with "frozen"
+// instead of retrying; the kv store then helps migrate the bucket (or
+// backs off while another helper holds the claim) and re-executes
+// against the destination table.  After the destination holds all live
+// pairs, drain_frozen() — exactly-once, guarded by the store's claim
+// word — pops the frozen list node by node — overwriting head and each
+// popped node's next word BEFORE retiring, so protect_word validation
+// can never re-acquire a retired block — and retires nodes plus the
+// cells that were live at freeze time in THIS bucket's (the source
+// shard's) domain.  Frozen buckets stay frozen forever; the plain entry
+// points below must never run against a freezable bucket (the kv store
+// uses try_* only).
 
 #include <atomic>
 #include <cstddef>
@@ -298,24 +315,26 @@ class HmList {
     return ok;
   }
 
-  // ---- migration primitives (single designated migrator thread) ----
+  // ---- migration primitives (cooperative: see the file header) ----
 
-  /// True once freeze_and_collect has begun on this bucket (sticky).
+  /// True once freeze() has begun on this bucket (sticky).
   bool frozen() const noexcept {
     return util::is_frozen(head_.load(std::memory_order_acquire));
   }
 
-  /// Migration step 1: freeze the bucket and collect its live pairs.
-  /// Freezes head, then every node's `next` (BEFORE following it) and
-  /// cell word; appends (key, value) for each node whose captured next
-  /// AND cell words were unmarked, and one liveness flag per linked node
-  /// (order = list order, which is immutable once frozen) for
-  /// drain_frozen's retire ledger.  The cell dereference needs no slot:
-  /// after the freeze bit lands on a cell word, no upsert CAS can
-  /// displace the cell and no remover can claim it, so only the migrator
-  /// can retire it — and it has not yet.
-  void freeze_and_collect(unsigned tid, std::vector<std::pair<K, V>>& pairs,
-                          std::vector<bool>& node_live) {
+  /// Migration step 1: freeze the bucket.  Freezes head, then every
+  /// node's `next` (BEFORE following it) and cell word.  IDEMPOTENT and
+  /// safe to run from any number of threads concurrently — every store
+  /// is a fetch_or of one sticky bit — so the kv store's resizer can
+  /// freeze ahead while helpers re-freeze the bucket they claimed; each
+  /// caller's own completed walk proves the bucket fully frozen.  The
+  /// walk runs under the caller's tracker session (its own slots):
+  /// links ahead of the freeze front are still live, so a remover may
+  /// unlink and retire a node mid-walk — protection keeps the walk off
+  /// freed memory exactly as in find() (a stray freeze bit set on an
+  /// unlinked-but-protected node's words is harmless: nothing reads
+  /// them again).
+  void freeze(unsigned tid) {
     tracker_.begin_op(tid);
     head_.fetch_or(util::kFreezeBit, std::memory_order_acq_rel);
     std::atomic<std::uintptr_t>* link = &head_;
@@ -325,19 +344,49 @@ class HmList {
       const std::uintptr_t w = tracker_.protect_word(*link, slot, tid, parent);
       Node* n = util::unpack_ptr<Node>(w);
       if (n == nullptr) break;
-      const std::uintptr_t nw =
-          n->next.fetch_or(util::kFreezeBit, std::memory_order_acq_rel);
-      const std::uintptr_t cw =
-          n->cell.fetch_or(util::kFreezeBit, std::memory_order_acq_rel);
-      const bool live = !util::is_marked(nw) && !util::is_marked(cw);
-      if (live)
-        pairs.emplace_back(n->key, util::unpack_ptr<ValueCell>(cw)->value);
-      node_live.push_back(live);
+      n->next.fetch_or(util::kFreezeBit, std::memory_order_acq_rel);
+      n->cell.fetch_or(util::kFreezeBit, std::memory_order_acq_rel);
       link = &n->next;
       parent = n;
       slot ^= 1u;
     }
     tracker_.end_op(tid);
+  }
+
+  /// Migration step 2: collect the frozen bucket's live pairs, plus one
+  /// liveness flag per linked node (order = list order, immutable once
+  /// frozen) for drain_frozen's retire ledger.  Caller contract: its
+  /// own freeze() walk completed (bucket fully frozen) AND it holds the
+  /// bucket's migration claim — so no node or cell here can be retired
+  /// before the caller's own drain, making this a pure unprotected read
+  /// walk.  Liveness is judged on the cell word alone: next-marked
+  /// implies cell-marked (and frozen cell words are immutable, so there
+  /// are no stray marks to tolerate), while a dead node's next word may
+  /// still collect a benign Harris mark from a late finish_remove.
+  /// Repeatable: every walk over a fully frozen bucket yields the same
+  /// pairs in the same order.
+  void collect_frozen(std::vector<std::pair<K, V>>& pairs,
+                      std::vector<bool>& node_live) const {
+    std::uintptr_t w = head_.load(std::memory_order_acquire);
+    for (Node* n = util::unpack_ptr<Node>(w); n != nullptr;) {
+      const std::uintptr_t nw = n->next.load(std::memory_order_acquire);
+      const std::uintptr_t cw = n->cell.load(std::memory_order_acquire);
+      const bool live = !util::is_marked(cw);
+      if (live)
+        pairs.emplace_back(n->key, util::unpack_ptr<ValueCell>(cw)->value);
+      node_live.push_back(live);
+      n = util::unpack_ptr<Node>(nw);
+    }
+  }
+
+  /// Steps 1+2 in one call (the pre-help API shape, kept for the unit
+  /// tests and as the claim holder's convenience): freeze — idempotent,
+  /// so this is safe on a bucket some other thread froze first — then
+  /// collect.
+  void freeze_and_collect(unsigned tid, std::vector<std::pair<K, V>>& pairs,
+                          std::vector<bool>& node_live) {
+    freeze(tid);
+    collect_frozen(pairs, node_live);
   }
 
   /// Migration step 3 (after the destination table holds every live pair
@@ -478,9 +527,11 @@ class HmList {
 
   /// Helps a cell-marked node out of the list: marks `next` so the next
   /// traversal unlinks it.  Unlike the cell mark, this mark elects no
-  /// winner (the cell fetch_or already did), so it is an idempotent
-  /// fetch_or too — it atomically freezes whatever `next` holds, and no
-  /// CAS ever succeeds against a marked word afterwards.
+  /// winner (the cell-mark CAS already did), so it is an idempotent
+  /// fetch_or — it atomically marks whatever `next` holds, and no CAS
+  /// ever succeeds against a marked word afterwards.  It may land on an
+  /// already-frozen next word, but only ever on a DEAD node's (its cell
+  /// is marked), so no migration liveness verdict changes.
   void finish_remove(Node* node) noexcept {
     node->next.fetch_or(util::kMarkBit, std::memory_order_acq_rel);
   }
@@ -649,27 +700,28 @@ class HmList {
         out = std::nullopt;
         return true;
       }
-      // Peek before the claiming fetch_or: a frozen cell must not even
-      // be marked if avoidable (the post-freeze stray mark is tolerated
-      // by the migrator, but the common case should stay clean).
-      if (util::is_frozen(pos.cur->cell.load(std::memory_order_acquire)))
-        return false;
-      // Linearization: claim the key by marking the cell word.  The
-      // winner owns the displaced cell (no CAS can succeed against a
-      // marked word), so reading and retiring it needs no extra
-      // protection.  Losing means another remove linearized first.
-      const std::uintptr_t cw =
-          pos.cur->cell.fetch_or(util::kMarkBit, std::memory_order_acq_rel);
-      if (util::is_frozen(cw)) {
-        // The freeze raced in between the peek and the claim: the stray
-        // mark we just set is ignored by the migrator (it captured
-        // liveness at freeze time).  No claim happened — forward.
-        return false;
-      }
-      if (util::is_marked(cw)) {
-        finish_remove(pos.cur);  // help the winner's physical deletion
-        out = std::nullopt;
-        return true;
+      // Linearization: claim the key by CASing the mark bit into the
+      // cell word, expecting it unmarked AND unfrozen.  The winner owns
+      // the displaced cell (no CAS can succeed against a marked word),
+      // so reading and retiring it needs no extra protection.  A CAS —
+      // not a fetch_or — so a mark can never land on a frozen word:
+      // frozen cell words stay immutable, which is what lets any helper
+      // of a cooperative migration re-read liveness verdicts after the
+      // freeze (no stray marks to tolerate).
+      std::uintptr_t cw = pos.cur->cell.load(std::memory_order_acquire);
+      for (;;) {
+        if (util::is_frozen(cw)) return false;  // no claim happened: forward
+        if (util::is_marked(cw)) {
+          finish_remove(pos.cur);  // help the winner's physical deletion
+          out = std::nullopt;
+          return true;
+        }
+        if (pos.cur->cell.compare_exchange_weak(cw, cw | util::kMarkBit,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire))
+          break;
+        // CAS reloaded cw: a racing upsert, a racing remover, or the
+        // freeze — loop re-classifies.
       }
       ValueCell* old_cell = util::unpack_ptr<ValueCell>(cw);
       out = old_cell->value;

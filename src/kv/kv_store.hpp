@@ -16,32 +16,52 @@
 // only ever holds reservations in the shard it is currently operating
 // in, so per-shard reservation scans stay domain-local.
 //
-// === Resharding protocol ===
+// === Resharding protocol (cooperative / helper-assisted) ===
 //
 // The shard array lives in a Table (epoch-numbered, atomically
-// published).  resize() — serialized by a mutex, run entirely on the
-// calling thread — builds the destination table, links it as the source
-// table's `next`, then migrates bucket by bucket:
+// published).  resize() — serialized by a mutex — builds the
+// destination table, links it as the source table's `next`, then drives
+// per-bucket migration.  Each bucket's migration is the sequence
 //
-//   freeze(source bucket)  -> collect live (key, value-copy) pairs
+//   freeze(source bucket)  -> idempotent fetch_or walk (any thread)
+//   claim[bucket] 0 -> 1   -> CAS elects the ONE thread that migrates
+//   collect                -> pure read walk of the frozen list
 //   migrate_in(dest shard) -> node + cell allocated in the DEST domain
 //   migrated[bucket] = 1   -> waiters may proceed to the next table
 //   drain(source bucket)   -> node + cell retired in the SOURCE domain
+//   ledger += bucket       -> atomic, exactly once per bucket
+//   claim[bucket] = 2      -> done
+//
+// and ANY thread may run it: the resizer freezes buckets ahead of its
+// migrate cursor (KvConfig::resize_freeze_ahead) and claims them in
+// order, while an op that observes a freeze bit HELPS — it claims the
+// bucket it is blocked on and performs the copy itself with its own
+// tracker sessions, falling back to capped exponential backoff (never a
+// bare yield spin) only while another thread holds the claim.  No op
+// ever waits on one specific thread's scheduling: if the resizer is
+// descheduled mid-migration, waiters finish its buckets (the
+// progress-restoring property this protocol exists for; the paper's
+// wait-free reclamation bounds are hollow if resizing reintroduces a
+// single-thread dependency).  The resizer waits for all claims to
+// close (ledger merged exactly-once per bucket via the claim word)
+// before promoting the destination table.
 //
 // Migration COPIES instead of re-linking because blocks are stamped and
 // scanned by the domain (tracker) that allocated them: a node re-linked
 // into another shard would be invisible to its allocator's reservation
 // scans and doubly visible to nobody — the copy keeps both domains'
-// ledgers closed (see ResizeRecord).
+// ledgers closed (see ResizeRecord).  A helper's copies allocate in the
+// destination domain under the helper's tid exactly like the resizer's
+// would; domain ledgers don't care who ran the session.
 //
 // Concurrent operations route through the current table; any op that
-// observes a freeze bit aborts session-cleanly (no state change), spins
-// on the bucket's migrated flag OUTSIDE any tracker session, and
-// re-executes against table->next.  Each key freezes in exactly one
-// source bucket and becomes writable in the destination only after that
-// bucket's flag is set, so per-key linearizability survives the hop.
-// The migrator itself never waits on other threads, so the store can't
-// deadlock; ops block at most for the copy of one bucket.
+// observes a freeze bit aborts session-cleanly (no state change), helps
+// or backs off OUTSIDE any tracker session, and re-executes against
+// table->next.  Each key freezes in exactly one source bucket and
+// becomes writable in the destination only after that bucket's flag is
+// set, so per-key linearizability survives the hop.  Ops block at most
+// for the copy of one bucket, and only when another thread is actively
+// copying it.
 //
 // Table reclamation is hazard-era-flavored, self-similar to the paper:
 // every op announces the current table EPOCH before loading the table
@@ -69,10 +89,12 @@
 // every hot path exactly one untaken branch away from the PR 3 code.
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -87,6 +109,7 @@
 #include "persist/recovery.hpp"
 #include "persist/snapshot.hpp"
 #include "reclaim/tracker.hpp"
+#include "util/backoff.hpp"
 #include "util/stats.hpp"
 
 namespace wfe::kv {
@@ -106,6 +129,17 @@ struct KvConfig {
   std::size_t auto_grow_max_shards = 256;
   /// Writes between auto-grow checks, per thread (power of two).
   unsigned auto_grow_check_interval = 512;
+  /// How many buckets the resizer freezes AHEAD of its migrate cursor.
+  /// Frozen-but-unclaimed buckets are exactly what ops can help with,
+  /// so this is the migration's parallelism window: 1 recovers the
+  /// strictly-serial PR 3 shape (helpers can only ever co-work the one
+  /// in-flight bucket), larger values let several ops copy distinct
+  /// buckets concurrently with the resizer.
+  std::size_t resize_freeze_ahead = 8;
+  /// Test/CI knob: freeze EVERY source bucket up front so all traffic
+  /// must take the helping path.  ORed with the WFE_TEST_HELP
+  /// environment variable at construction.
+  bool resize_force_help = false;
   /// Durability backend (persist::Options.enabled = false keeps the
   /// store purely in-memory).  Requires K and V to be trivially
   /// copyable and at most 8 bytes (persist::wal_encodable).
@@ -139,6 +173,11 @@ class KvStore {
     cfg_.persistence.snapshot_check_interval =
         static_cast<unsigned>(ds::round_up_pow2(std::max<std::size_t>(
             1, cfg.persistence.snapshot_check_interval)));
+    cfg_.resize_freeze_ahead =
+        std::max<std::size_t>(1, cfg_.resize_freeze_ahead);
+    if (const char* e = std::getenv("WFE_TEST_HELP");
+        e != nullptr && *e != '\0' && *e != '0')
+      cfg_.resize_force_help = true;
     for (unsigned t = 0; t < cfg_.tracker.max_threads; ++t) {
       announce_[t].store(kIdle, std::memory_order_relaxed);
       grow_ticks_[t] = 0;
@@ -386,8 +425,10 @@ class KvStore {
 
   /// Migrates every key into a fresh table of `new_shards` (rounded up
   /// to a power of two) shards, concurrently with readers and writers.
-  /// Runs entirely on the calling thread; concurrent resizes serialize.
-  /// Returns false (no-op) when the rounded count equals the current one.
+  /// Driven by the calling thread, but cooperative: concurrent ops that
+  /// hit frozen buckets claim and migrate them too (see the file
+  /// header).  Concurrent resizes serialize.  Returns false (no-op)
+  /// when the rounded count equals the current one.
   bool resize(std::size_t new_shards, unsigned tid) {
     const std::size_t want =
         ds::round_up_pow2(std::max<std::size_t>(1, new_shards));
@@ -498,6 +539,17 @@ class KvStore {
     }
   }
 
+  /// Test hook: simulated resizer stall.  The next resize() freezes
+  /// EVERY source bucket, then calls `fn` on the resizing thread —
+  /// holding the resize mutex but NO bucket claim — before it starts
+  /// claiming buckets.  While parked inside `fn`, every op that hits a
+  /// frozen bucket must complete its migration via helping; that is
+  /// the progress property the help suites pin.  Set (and clear, by
+  /// passing nullptr) only while no resize is in flight.
+  void set_resize_park_hook(std::function<void()> fn) {
+    resize_park_hook_ = std::move(fn);
+  }
+
   /// Test hook: freeze the durable watermark (no more fsyncs) on every
   /// stream while writes keep flowing — the page-cache window a real
   /// crash exposes.
@@ -536,6 +588,8 @@ class KvStore {
     st.resize_epochs = resize_epochs_.load(std::memory_order_relaxed);
     st.migrated_keys = migrated_keys_.load(std::memory_order_relaxed);
     st.forwarded_ops = counters_.sum(kForwarded);
+    st.helped_buckets = counters_.sum(kHelpedBuckets);
+    st.help_conflicts = counters_.sum(kHelpConflicts);
     st.persist_enabled = cfg_.persistence.enabled;
     st.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
     return st;
@@ -557,8 +611,29 @@ class KvStore {
     /// One flag per (shard, bucket): 1 = every live pair of that source
     /// bucket is present in `next`; waiters proceed there.
     std::vector<std::unique_ptr<std::atomic<std::uint8_t>[]>> migrated;
+    /// One claim word per (shard, bucket), the help protocol's core:
+    /// kUnclaimed -> kClaimed by the CAS that elects the bucket's one
+    /// migrator (resizer or helper), kDone after its drain+ledger.
+    /// Exactly-once collect/copy/drain and exactly-once ledger merge
+    /// both hang off this word.
+    std::vector<std::unique_ptr<std::atomic<std::uint8_t>[]>> claim;
+    /// This table's OUTBOUND migration ledger, merged atomically from
+    /// every thread that claimed one of its buckets; the resizer folds
+    /// it into a ResizeRecord once buckets_done covers the table.
+    struct MigrationLedger {
+      std::atomic<std::uint64_t> migrated_keys{0};
+      std::atomic<std::uint64_t> nodes_retired{0};
+      std::atomic<std::uint64_t> cells_retired{0};
+      std::atomic<std::uint64_t> helped_buckets{0};
+      /// Buckets fully migrated (flag set, drained, ledger merged).
+      /// The release increment is each bucket's closing bracket; the
+      /// resizer's acquire read of == total is the merge barrier.
+      std::atomic<std::uint64_t> buckets_done{0};
+    } mig;
     std::atomic<Table*> next{nullptr};  ///< forwarding target while/after migration
   };
+
+  static constexpr std::uint8_t kUnclaimed = 0, kClaimed = 1, kDone = 2;
 
   /// Epoch announcement bracket around every operation: publish the
   /// current epoch (seq_cst), THEN load the table pointer (the HP
@@ -592,9 +667,13 @@ class KvStore {
       tc.domain_id = static_cast<unsigned>(i);
       t->shards.push_back(std::make_unique<ShardT>(tc, t->buckets));
       auto flags = std::make_unique<std::atomic<std::uint8_t>[]>(t->buckets);
-      for (std::size_t b = 0; b < t->buckets; ++b)
+      auto claims = std::make_unique<std::atomic<std::uint8_t>[]>(t->buckets);
+      for (std::size_t b = 0; b < t->buckets; ++b) {
         flags[b].store(0, std::memory_order_relaxed);
+        claims[b].store(kUnclaimed, std::memory_order_relaxed);
+      }
       t->migrated.push_back(std::move(flags));
+      t->claim.push_back(std::move(claims));
       if (wals) {
         t->wals.push_back(std::make_unique<persist::ShardWal>(
             cfg_.persistence.dir, epoch, static_cast<unsigned>(i),
@@ -615,20 +694,21 @@ class KvStore {
     return *t.shards[shard_index_in(t, key)];
   }
 
-  /// The op observed a frozen bucket: spin (outside any tracker session)
-  /// until that bucket's live pairs are all present in the next table,
-  /// then retry there.
+  /// The op observed a frozen bucket: help migrate it (outside any
+  /// tracker session) — or back off while another thread does — until
+  /// that bucket's live pairs are all present in the next table, then
+  /// retry there.
   Table* wait_forward(Table& t, const K& key, unsigned tid) {
     counters_.inc(kForwarded, tid);
     const std::size_t s = shard_index_in(t, key);
     const std::size_t b = t.shards[s]->bucket_index(key);
-    wait_bucket(t, s, b);
+    wait_bucket(t, s, b, tid);
     return t.next.load(std::memory_order_acquire);
   }
 
-  /// Multi-op flavor: wait for EVERY deferred key's bucket, then step
-  /// the whole remainder one table forward.  `key_of` maps a batch
-  /// index to its key (identity-array and op-pair callers).
+  /// Multi-op flavor: wait for (or help) EVERY deferred key's bucket,
+  /// then step the whole remainder one table forward.  `key_of` maps a
+  /// batch index to its key (identity-array and op-pair callers).
   template <class KeyOf>
   Table* wait_forward_all(Table& t, KeyOf&& key_of,
                           const std::vector<std::uint32_t>& deferred,
@@ -637,7 +717,7 @@ class KvStore {
     for (const std::uint32_t i : deferred) {
       const K& key = key_of(i);
       const std::size_t s = shard_index_in(t, key);
-      wait_bucket(t, s, t.shards[s]->bucket_index(key));
+      wait_bucket(t, s, t.shards[s]->bucket_index(key), tid);
     }
     return t.next.load(std::memory_order_acquire);
   }
@@ -648,9 +728,86 @@ class KvStore {
         t, [&](std::uint32_t i) -> const K& { return keys[i]; }, deferred, tid);
   }
 
-  void wait_bucket(Table& t, std::size_t s, std::size_t b) {
+  /// Help-or-backoff wait on one bucket's migration: claim it and do
+  /// the work ourselves whenever the claim is free; capped exponential
+  /// backoff (util::Backoff — never a bare yield spin) only while some
+  /// other thread holds it.  Progress never depends on one specific
+  /// thread being scheduled.
+  void wait_bucket(Table& t, std::size_t s, std::size_t b, unsigned tid) {
     auto& flag = t.migrated[s][b];
-    while (flag.load(std::memory_order_acquire) == 0) std::this_thread::yield();
+    if (flag.load(std::memory_order_acquire) != 0) return;
+    util::Backoff backoff;
+    bool conflicted = false;
+    for (;;) {
+      if (migrate_bucket(t, s, b, tid, /*helper=*/true)) return;
+      if (flag.load(std::memory_order_acquire) != 0) return;
+      if (!conflicted) {  // one conflict per wait episode, not per round
+        conflicted = true;
+        counters_.inc(kHelpConflicts, tid);
+      }
+      backoff.pause();
+    }
+  }
+
+  /// Exactly-once migration of one source bucket, runnable by ANY
+  /// thread (resizer or helper) with its own tid: claim-CAS elects the
+  /// migrator, which ensures its own freeze walk completed (helpers
+  /// re-freeze — idempotent over the resizer's freeze-ahead; the
+  /// resizer's cursor already passed the bucket), collects, copies
+  /// every live pair into the destination domain, publishes the
+  /// migrated flag, drains the source bucket and merges the bucket's
+  /// contribution into the table's ledger — each step under the claim,
+  /// so nothing is ever double-copied or double-counted.  False when
+  /// another thread holds (or finished) the claim.
+  bool migrate_bucket(Table& src, std::size_t s, std::size_t b, unsigned tid,
+                      bool helper) {
+    auto& cl = src.claim[s][b];
+    // Test-and-test-and-set: losing waiters (and the resizer skipping
+    // helped buckets) stay read-only on the claim line instead of
+    // bouncing it against the active copier with failed CASes.
+    if (cl.load(std::memory_order_relaxed) != kUnclaimed) return false;
+    std::uint8_t expected = kUnclaimed;
+    if (!cl.compare_exchange_strong(expected, kClaimed,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire))
+      return false;
+    Table* dst = src.next.load(std::memory_order_acquire);
+    ShardT& sh = *src.shards[s];
+    static thread_local std::vector<std::pair<K, V>> pairs;
+    static thread_local std::vector<bool> node_live;
+    pairs.clear();
+    node_live.clear();
+    if (helper) {
+      // A helper's own freeze walk must complete before the collect
+      // walk is a valid pure read (idempotent over whatever the
+      // resizer's freeze-ahead already froze).
+      sh.freeze_collect_bucket(b, tid, pairs, node_live);
+    } else {
+      // The resizer only claims buckets its freeze_to cursor passed:
+      // its own walk completed, so skip straight to the collect.
+      sh.collect_bucket(b, pairs, node_live);
+    }
+    for (const auto& [k, v] : pairs)
+      dst->shards[shard_index_in(*dst, k)]->migrate_in(k, v, tid);
+    src.migrated[s][b].store(1, std::memory_order_release);
+    const auto [nodes, cells] = sh.drain_bucket(b, tid, node_live);
+    src.mig.migrated_keys.fetch_add(pairs.size(), std::memory_order_relaxed);
+    src.mig.nodes_retired.fetch_add(nodes, std::memory_order_relaxed);
+    src.mig.cells_retired.fetch_add(cells, std::memory_order_relaxed);
+    if (helper) {
+      src.mig.helped_buckets.fetch_add(1, std::memory_order_relaxed);
+      counters_.inc(kHelpedBuckets, tid);
+      // Hand this helper's drained blocks to the cold source domain
+      // now: store-level flush_retired only reaches CURRENT-table
+      // shards, so a burst left buffered here would sit invisible to
+      // the domain's scans until table teardown.
+      sh.flush_retired(tid);
+    }
+    cl.store(kDone, std::memory_order_release);
+    // Closing bracket: the ledger adds above happen-before the
+    // resizer's acquire read of buckets_done == total.
+    src.mig.buckets_done.fetch_add(1, std::memory_order_release);
+    return true;
   }
 
   /// Counting-sort grouping for multi-ops over an index SUBSET (the
@@ -698,30 +855,56 @@ class KvStore {
     Table* dst = tables_.back().get();
     src->next.store(dst, std::memory_order_release);
 
+    // Freeze ahead of the migrate cursor: a frozen-but-unclaimed bucket
+    // is claimable by any op that hits it, so the window is the
+    // migration's parallelism (helpers copy distinct buckets while this
+    // thread copies another).  Forced-help mode (WFE_TEST_HELP /
+    // resize_force_help) freezes everything up front, and the park hook
+    // — test-only — then stalls this thread with NO claim held, so
+    // every bucket traffic touches must complete via helping.
+    const std::size_t total = (src->mask + 1) * src->buckets;
+    const bool freeze_all =
+        cfg_.resize_force_help || static_cast<bool>(resize_park_hook_);
+    const std::size_t ahead =
+        freeze_all ? total : cfg_.resize_freeze_ahead;
+    std::size_t frozen = 0;
+    const auto freeze_to = [&](std::size_t limit) {
+      for (; frozen < limit; ++frozen)
+        src->shards[frozen / src->buckets]->freeze_bucket(
+            frozen % src->buckets, tid);
+    };
+    if (freeze_all) freeze_to(total);
+    if (resize_park_hook_) resize_park_hook_();
+    for (std::size_t m = 0; m < total; ++m) {
+      freeze_to(std::min(total, m + ahead));
+      migrate_bucket(*src, m / src->buckets, m % src->buckets, tid,
+                     /*helper=*/false);
+    }
+    // Helpers may still be mid-bucket: wait for every claim to close
+    // (bounded — each holder is actively copying one bucket) before
+    // reading the merged ledger and promoting.
+    util::Backoff backoff;
+    while (src->mig.buckets_done.load(std::memory_order_acquire) < total)
+      backoff.pause();
+    // The source domains go cold: hand them the migrator's buffered
+    // retires now so their backlogs can drain before teardown.
+    for (std::size_t s = 0; s <= src->mask; ++s)
+      src->shards[s]->flush_retired(tid);
+
     ResizeRecord rec;
     rec.epoch = dst->epoch;
     rec.from_shards = src->mask + 1;
     rec.to_shards = want;
-    std::vector<std::pair<K, V>> pairs;
-    std::vector<bool> node_live;
-    for (std::size_t s = 0; s <= src->mask; ++s) {
-      ShardT& sh = *src->shards[s];
-      for (std::size_t b = 0; b < src->buckets; ++b) {
-        pairs.clear();
-        node_live.clear();
-        sh.freeze_collect_bucket(b, tid, pairs, node_live);
-        for (const auto& [k, v] : pairs)
-          dst->shards[shard_index_in(*dst, k)]->migrate_in(k, v, tid);
-        src->migrated[s][b].store(1, std::memory_order_release);
-        const auto [nodes, cells] = sh.drain_bucket(b, tid, node_live);
-        rec.migrated_keys += pairs.size();
-        rec.nodes_retired += nodes;
-        rec.cells_retired += cells;
-      }
-      // The source domain goes cold: hand it the migrator's buffered
-      // retires now so its backlog can drain before teardown.
-      sh.flush_retired(tid);
-    }
+    rec.migrated_keys = src->mig.migrated_keys.load(std::memory_order_relaxed);
+    rec.nodes_retired = src->mig.nodes_retired.load(std::memory_order_relaxed);
+    rec.cells_retired = src->mig.cells_retired.load(std::memory_order_relaxed);
+    rec.helped_buckets =
+        src->mig.helped_buckets.load(std::memory_order_relaxed);
+    // The per-resize closure must survive concurrent helpers: every
+    // bucket contributes exactly once (claim exclusivity), so the
+    // identities hold exactly, not just in expectation.
+    assert(rec.cells_retired == rec.migrated_keys);
+    assert(rec.nodes_retired >= rec.migrated_keys);
 
     table_.store(dst, std::memory_order_seq_cst);  // promote
     epoch_.store(dst->epoch, std::memory_order_release);
@@ -894,8 +1077,13 @@ class KvStore {
   mutable std::mutex resize_mu_;  ///< serializes resize; guards tables_, history_
   std::vector<std::unique_ptr<Table>> tables_;  ///< owns current + retired
   std::vector<ResizeRecord> history_;
+  /// Test-only resizer stall (see set_resize_park_hook).
+  std::function<void()> resize_park_hook_;
 
-  enum Lane : unsigned { kForwarded, kNetInserts, kNetRemoves, kLanes };
+  enum Lane : unsigned {
+    kForwarded, kNetInserts, kNetRemoves, kHelpedBuckets, kHelpConflicts,
+    kLanes
+  };
   util::PerThreadCounters<kLanes> counters_;
   /// Per-thread write ticks for the auto-grow cadence (owner-written).
   reclaim::detail::PerThread<unsigned> grow_ticks_;

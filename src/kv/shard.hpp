@@ -272,17 +272,38 @@ class Shard {
 
   /// Destination-side copy: allocate the key's node and value cell in
   /// THIS shard's domain.  Not a user op — counted in its own lane, and
-  /// the key is always absent here (each key migrates exactly once).
+  /// the key is always absent here (each key migrates exactly once:
+  /// helpers and the resizer are serialized per bucket by the store's
+  /// claim word).  Runs under the copier's OWN tracker session in this
+  /// destination domain, so a helper never needs the resizer's slots.
   void migrate_in(const K& key, const V& value, unsigned tid) {
     ops_.inc(kMigratedIn, tid);
     map_.insert(key, value, tid);
   }
 
-  /// Source-side: freeze bucket `b` and collect its live pairs.
+  /// Source-side: freeze bucket `b` (idempotent; any thread, its own
+  /// tracker slots — resizer freeze-ahead and helper re-freeze overlap
+  /// harmlessly).
+  void freeze_bucket(std::size_t b, unsigned tid) {
+    map_.freeze_bucket(b, tid);
+  }
+
+  /// Source-side: freeze bucket `b` (idempotent even when another
+  /// thread froze it first) and collect its live pairs.  The collect
+  /// half is only valid for the bucket's claim holder.
   void freeze_collect_bucket(std::size_t b, unsigned tid,
                              std::vector<std::pair<K, V>>& pairs,
                              std::vector<bool>& node_live) {
     map_.freeze_and_collect(b, tid, pairs, node_live);
+  }
+
+  /// Source-side, collect only: for a claim holder whose OWN freeze
+  /// walk of bucket `b` already completed (the resizer, whose
+  /// freeze-ahead cursor is past `b`) — skips the redundant protected
+  /// re-freeze walk the helper path needs.
+  void collect_bucket(std::size_t b, std::vector<std::pair<K, V>>& pairs,
+                      std::vector<bool>& node_live) const {
+    map_.collect_frozen_bucket(b, pairs, node_live);
   }
 
   /// Source-side: pop the frozen bucket and retire its blocks in this

@@ -55,10 +55,14 @@ struct ShardStats {
 };
 
 /// Ledger of one completed resize: every source-domain retire of the
-/// migration is accounted here.  The closing identities (asserted by the
-/// reshard suites): cells_retired == migrated_keys (exactly the live
-/// cells copied) and nodes_retired >= migrated_keys (dead nodes whose
-/// removers could not unlink past the freeze are drained too).
+/// migration is accounted here.  Since cooperative migration the ledger
+/// is merged from EVERY thread that claimed a bucket (resizer and
+/// helpers alike) — each bucket contributes exactly once, guarded by
+/// its claim word, so the closing identities (asserted by the reshard
+/// suites) hold exactly even with concurrent helpers:
+/// cells_retired == migrated_keys (exactly the live cells copied) and
+/// nodes_retired >= migrated_keys (dead nodes whose removers could not
+/// unlink past the freeze are drained too).
 struct ResizeRecord {
   std::uint64_t epoch = 0;        ///< table epoch created by this resize
   std::uint64_t from_shards = 0;
@@ -66,6 +70,9 @@ struct ResizeRecord {
   std::uint64_t migrated_keys = 0;   ///< live pairs copied to the new table
   std::uint64_t nodes_retired = 0;   ///< source-domain node retires (drain)
   std::uint64_t cells_retired = 0;   ///< source-domain cell retires (drain)
+  /// Buckets whose copy+drain ran on a NON-resizer thread (an op that
+  /// observed the freeze, claimed the bucket and migrated it itself).
+  std::uint64_t helped_buckets = 0;
 };
 
 struct KvStats {
@@ -79,6 +86,12 @@ struct KvStats {
   /// Operations that observed a frozen bucket (or a table promoted under
   /// them) and re-executed against a forwarded table.
   std::uint64_t forwarded_ops = 0;
+  /// Buckets migrated by helpers (ops that claimed the bucket they were
+  /// blocked on and ran the copy+drain themselves), across all resizes.
+  std::uint64_t helped_buckets = 0;
+  /// Wait episodes that lost the claim race and fell back to capped
+  /// backoff while another thread migrated the bucket.
+  std::uint64_t help_conflicts = 0;
   std::vector<ResizeRecord> resizes; ///< one ledger entry per resize
 
   // ---- durability (src/persist/) ----
@@ -146,6 +159,7 @@ inline void to_json(util::JsonWriter& j, const ResizeRecord& r) {
   j.kv("migrated_keys", r.migrated_keys);
   j.kv("nodes_retired", r.nodes_retired);
   j.kv("cells_retired", r.cells_retired);
+  j.kv("helped_buckets", r.helped_buckets);
   j.end_object();
 }
 

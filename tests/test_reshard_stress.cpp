@@ -53,6 +53,7 @@ constexpr unsigned kThreads = kControlTid + 1;
 constexpr std::uint64_t kSlice = 512;
 constexpr std::uint64_t kPinnedKey = ~std::uint64_t{0};  // outside all slices
 constexpr std::size_t kMultiBatch = 8;
+constexpr std::size_t kBucketsPerShard = 64;  // short buckets: tiny pauses
 
 unsigned env_unsigned(const char* name, unsigned fallback) {
   return static_cast<unsigned>(
@@ -63,7 +64,7 @@ template <class TR>
 kv::KvConfig stress_cfg() {
   kv::KvConfig c;
   c.shards = 4;
-  c.buckets_per_shard = 64;  // short buckets: migration pauses stay tiny
+  c.buckets_per_shard = kBucketsPerShard;
   c.tracker.max_threads = kThreads;
   c.tracker.max_hes = Store<TR>::kSlotsNeeded;
   c.tracker.era_freq = 8;
@@ -250,6 +251,15 @@ void run_stress() {
     total_migrated += r.migrated_keys;
   }
   EXPECT_EQ(st.migrated_keys, total_migrated);
+  // Helper accounting: the store-level counter and the per-resize
+  // ledger entries tally the same claim-won buckets, and no resize can
+  // report more helped buckets than it had buckets.
+  std::uint64_t total_helped = 0;
+  for (const kv::ResizeRecord& r : st.resizes) {
+    EXPECT_LE(r.helped_buckets, r.from_shards * kBucketsPerShard);
+    total_helped += r.helped_buckets;
+  }
+  EXPECT_EQ(st.helped_buckets, total_helped);
   // Writers run until every resize completed, so on a multi-core host
   // each full-table migration freezes buckets in parallel with live
   // traffic and some op must observe a frozen bucket and forward.  On a
@@ -379,7 +389,7 @@ void run_auto_grow_stress() {
       env_unsigned("WFE_TEST_OPS", 20000) / 4 + 256;
   kv::KvConfig c = stress_cfg<TR>();
   c.shards = 1;
-  c.buckets_per_shard = 64;
+  c.buckets_per_shard = kBucketsPerShard;
   c.auto_grow_load_factor = 4.0;
   c.auto_grow_check_interval = 64;
   c.auto_grow_max_shards = 64;
