@@ -35,6 +35,9 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/clock.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "reclaim/block.hpp"
 #include "reclaim/tracker.hpp"
 #include "util/atomics.hpp"
@@ -103,6 +106,8 @@ class WfeTracker : public reclaim::TrackerBase {
     }
 
     // ---- slow path: request helping (lines 26-54) ----
+    const std::uint64_t probe_t0 =
+        slow_path_hist_ != nullptr ? obs::now_ticks() : 0;
     const std::uint64_t parent_era = parent ? parent->alloc_era : kInfEra;
     counter_start_.value.fetch_add(1, std::memory_order_seq_cst);
 
@@ -124,6 +129,7 @@ class WfeTracker : public reclaim::TrackerBase {
         if (st.result.wcas(expect, {0, kInfEra})) {
           rsv.store_b(tag + 1, std::memory_order_seq_cst);  // next cycle
           counter_end_.value.fetch_add(1, std::memory_order_seq_cst);
+          finish_slow_probe(probe_t0, tid);
           return ret;
         }
         // WCAS failed: a helper produced the output first — consume it.
@@ -142,6 +148,7 @@ class WfeTracker : public reclaim::TrackerBase {
     rsv.store_a(res.b, std::memory_order_seq_cst);
     rsv.store_b(tag + 1, std::memory_order_seq_cst);
     counter_end_.value.fetch_add(1, std::memory_order_seq_cst);
+    finish_slow_probe(probe_t0, tid);
     return static_cast<std::uintptr_t>(res.a);
   }
 
@@ -187,6 +194,15 @@ class WfeTracker : public reclaim::TrackerBase {
   }
   std::uint64_t slow_path_exits() const noexcept {
     return counter_end_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches a latency histogram to the slow path (src/obs/): each
+  /// request-helping episode records its duration on the caller's lane,
+  /// making the paper's fast-path/help contrast visible per-op.  The
+  /// slow path is rare by construction, so the probe's clock reads cost
+  /// nothing on the HE-speed fast path.
+  void set_slow_path_probe(obs::LatencyHistogram* h) noexcept {
+    slow_path_hist_ = h;
   }
 
  private:
@@ -290,10 +306,19 @@ class WfeTracker : public reclaim::TrackerBase {
     return true;
   }
 
+  /// Both slow-path exits funnel here: record the episode's duration and
+  /// tag the thread's current op for slow-op trace attribution.
+  void finish_slow_probe(std::uint64_t t0, unsigned tid) noexcept {
+    if (slow_path_hist_ == nullptr) return;
+    obs::tls_cause = obs::TraceCause::kSlowPath;
+    slow_path_hist_->record_owned(obs::ticks_to_ns(obs::now_ticks() - t0), tid);
+  }
+
   reclaim::detail::PerThread<Slots> slots_;
   util::Padded<std::atomic<std::uint64_t>> global_era_{1};
   util::Padded<std::atomic<std::uint64_t>> counter_start_{0};
   util::Padded<std::atomic<std::uint64_t>> counter_end_{0};
+  obs::LatencyHistogram* slow_path_hist_ = nullptr;  ///< null = unprobed
 };
 
 static_assert(reclaim::tracker_for<WfeTracker>);

@@ -27,6 +27,9 @@
 #include <cstdint>
 #include <memory>
 
+#include "obs/clock.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "reclaim/block.hpp"
 #include "reclaim/tracker.hpp"
 #include "util/atomics.hpp"
@@ -86,6 +89,8 @@ class WfeIbrTracker : public reclaim::TrackerBase {
     }
 
     // Slow path: request helping (Fig. 4 lines 26-54, one slot/thread).
+    const std::uint64_t probe_t0 =
+        slow_path_hist_ != nullptr ? obs::now_ticks() : 0;
     const std::uint64_t parent_era = parent ? parent->alloc_era : kInfEra;
     counter_start_.value.fetch_add(1, std::memory_order_seq_cst);
     my.state.pointer.store(&src, std::memory_order_relaxed);
@@ -102,6 +107,7 @@ class WfeIbrTracker : public reclaim::TrackerBase {
         if (my.state.result.wcas(expect, {0, kInfEra})) {
           my.upper.store_b(tag + 1, std::memory_order_seq_cst);
           counter_end_.value.fetch_add(1, std::memory_order_seq_cst);
+          finish_slow_probe(probe_t0, tid);
           return ret;
         }
       }
@@ -113,6 +119,7 @@ class WfeIbrTracker : public reclaim::TrackerBase {
     my.upper.store_a(res.b, std::memory_order_seq_cst);
     my.upper.store_b(tag + 1, std::memory_order_seq_cst);
     counter_end_.value.fetch_add(1, std::memory_order_seq_cst);
+    finish_slow_probe(probe_t0, tid);
     return static_cast<std::uintptr_t>(res.a);
   }
 
@@ -154,6 +161,12 @@ class WfeIbrTracker : public reclaim::TrackerBase {
   }
   std::uint64_t slow_path_exits() const noexcept {
     return counter_end_.value.load(std::memory_order_relaxed);
+  }
+
+  /// Latency probe for slow-path episodes (same contract as
+  /// WfeTracker::set_slow_path_probe).
+  void set_slow_path_probe(obs::LatencyHistogram* h) noexcept {
+    slow_path_hist_ = h;
   }
 
  private:
@@ -248,10 +261,17 @@ class WfeIbrTracker : public reclaim::TrackerBase {
     return true;
   }
 
+  void finish_slow_probe(std::uint64_t t0, unsigned tid) noexcept {
+    if (slow_path_hist_ == nullptr) return;
+    obs::tls_cause = obs::TraceCause::kSlowPath;
+    slow_path_hist_->record_owned(obs::ticks_to_ns(obs::now_ticks() - t0), tid);
+  }
+
   reclaim::detail::PerThread<Slots> slots_;
   util::Padded<std::atomic<std::uint64_t>> global_era_{1};
   util::Padded<std::atomic<std::uint64_t>> counter_start_{0};
   util::Padded<std::atomic<std::uint64_t>> counter_end_{0};
+  obs::LatencyHistogram* slow_path_hist_ = nullptr;  ///< null = unprobed
 };
 
 static_assert(reclaim::tracker_for<WfeIbrTracker>);

@@ -105,6 +105,8 @@
 #include "ds/hash_map.hpp"
 #include "kv/shard.hpp"
 #include "kv/stats.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "persist/group_commit.hpp"
 #include "persist/recovery.hpp"
 #include "persist/snapshot.hpp"
@@ -144,6 +146,11 @@ struct KvConfig {
   /// store purely in-memory).  Requires K and V to be trivially
   /// copyable and at most 8 bytes (persist::wal_encodable).
   persist::Options persistence;
+  /// Observability (src/obs/): per-op latency histograms, gauges pulled
+  /// from stats(), background sampler, slow-op trace ring.  Null object
+  /// when disabled (the default): every instrumentation site is one
+  /// untaken branch.
+  obs::MetricsOptions metrics;
 };
 
 template <class K, class V, reclaim::tracker_for Tracker>
@@ -183,31 +190,49 @@ class KvStore {
       grow_ticks_[t] = 0;
       snap_ticks_[t] = 0;
     }
+    if (cfg_.metrics.enabled) {
+      // Before any table exists: make_table/open_persistent attach the
+      // WAL and slow-path probes as streams and shards are built.
+      metrics_ = std::make_unique<obs::KvMetrics>(cfg_.metrics,
+                                                  cfg_.tracker.max_threads);
+      metrics_->registry.add_collector(
+          [this](std::vector<obs::GaugeValue>& out) { collect_gauges(out); });
+    }
     if (cfg_.persistence.enabled) {
       if constexpr (kPersistable) {
         open_persistent();
-        return;
       } else {
         std::fprintf(stderr,
                      "KvStore: persistence requires wal_encodable K/V\n");
         std::abort();
       }
+    } else {
+      tables_.push_back(make_table(cfg_.shards, /*epoch=*/1, /*wals=*/false));
+      table_.store(tables_.back().get(), std::memory_order_release);
+      epoch_.store(1, std::memory_order_release);
     }
-    tables_.push_back(make_table(cfg_.shards, /*epoch=*/1, /*wals=*/false));
-    table_.store(tables_.back().get(), std::memory_order_release);
-    epoch_.store(1, std::memory_order_release);
+    if (metrics_) metrics_->start_sampler();
   }
 
   // tables_ owns every table; shards flush (gate bypassed) before their
-  // WAL streams close durably, trackers drain last.
-  ~KvStore() = default;
+  // WAL streams close durably, trackers drain last.  The sampler must
+  // stop FIRST: its gauge collector walks live store state (stats()),
+  // and the WAL flushers still record fsync latency during teardown —
+  // which is why metrics_ is declared before tables_ (destroyed after).
+  ~KvStore() {
+    if (metrics_) metrics_->stop_sampler();
+  }
 
   std::optional<V> get(const K& key, unsigned tid) {
-    TableGuard g(*this, tid);
-    Table* t = g.table;
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
     std::optional<V> out;
-    while (!shard_in(*t, key).try_get(key, tid, out))
-      t = wait_forward(*t, key, tid);
+    {
+      TableGuard g(*this, tid);
+      Table* t = g.table;
+      while (!shard_in(*t, key).try_get(key, tid, out))
+        t = wait_forward(*t, key, tid);
+    }
+    if (metrics_ && mt0 != 0) record_op(obs::OpKind::kGet, metrics_->op_get, mt0, tid, key);
     return out;
   }
 
@@ -218,6 +243,7 @@ class KvStore {
   /// Insert-or-replace, in place (atomic value-cell swap on present
   /// keys); true when the key was absent.
   bool put(const K& key, const V& value, unsigned tid) {
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
     bool was_absent = false;
     {
       TableGuard g(*this, tid);
@@ -228,6 +254,9 @@ class KvStore {
     if (was_absent) counters_.inc(kNetInserts, tid);
     maybe_auto_grow(tid);
     maybe_auto_snapshot(tid);
+    // End-to-end: an auto-grow or auto-snapshot this write drove is part
+    // of its observed latency (and tags its trace cause).
+    if (metrics_ && mt0 != 0) record_op(obs::OpKind::kPut, metrics_->op_put, mt0, tid, key);
     return was_absent;
   }
 
@@ -235,6 +264,7 @@ class KvStore {
   /// bench can put a number on what in-place replacement saves.  The
   /// "was absent" answer accumulates across forwarded tables.
   bool put_copy(const K& key, const V& value, unsigned tid) {
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
     bool saw_present = false;
     {
       TableGuard g(*this, tid);
@@ -245,11 +275,13 @@ class KvStore {
     if (!saw_present) counters_.inc(kNetInserts, tid);
     maybe_auto_grow(tid);
     maybe_auto_snapshot(tid);
+    if (metrics_ && mt0 != 0) record_op(obs::OpKind::kPut, metrics_->op_put, mt0, tid, key);
     return !saw_present;
   }
 
   /// Insert-if-absent; false (no write) when present.
   bool insert(const K& key, const V& value, unsigned tid) {
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
     bool inserted = false;
     {
       TableGuard g(*this, tid);
@@ -260,20 +292,28 @@ class KvStore {
     if (inserted) counters_.inc(kNetInserts, tid);
     maybe_auto_grow(tid);
     maybe_auto_snapshot(tid);
+    if (metrics_ && mt0 != 0)
+      record_op(obs::OpKind::kInsert, metrics_->op_put, mt0, tid, key);
     return inserted;
   }
 
   /// Replace-if-present; false (no write) when absent.
   bool update(const K& key, const V& value, unsigned tid) {
-    TableGuard g(*this, tid);
-    Table* t = g.table;
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
     bool updated = false;
-    while (!shard_in(*t, key).try_update(key, value, tid, updated))
-      t = wait_forward(*t, key, tid);
+    {
+      TableGuard g(*this, tid);
+      Table* t = g.table;
+      while (!shard_in(*t, key).try_update(key, value, tid, updated))
+        t = wait_forward(*t, key, tid);
+    }
+    if (metrics_ && mt0 != 0)
+      record_op(obs::OpKind::kUpdate, metrics_->op_update, mt0, tid, key);
     return updated;
   }
 
   std::optional<V> remove(const K& key, unsigned tid) {
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
     std::optional<V> out;
     {
       TableGuard g(*this, tid);
@@ -283,6 +323,8 @@ class KvStore {
     }
     if (out.has_value()) counters_.inc(kNetRemoves, tid);
     maybe_auto_snapshot(tid);  // removes append WAL bytes too
+    if (metrics_ && mt0 != 0)
+      record_op(obs::OpKind::kRemove, metrics_->op_remove, mt0, tid, key);
     return out;
   }
 
@@ -300,26 +342,36 @@ class KvStore {
   void multi_get(const K* keys, std::size_t n, std::optional<V>* out,
                  unsigned tid) {
     if (n == 0) return;
-    TableGuard g(*this, tid);
-    Table* t = g.table;
-    static thread_local ShardPlan plan;  // scratch: reused across calls
-    static thread_local std::vector<std::uint32_t> pend, defer;
-    pend.resize(n);
-    for (std::size_t i = 0; i < n; ++i) pend[i] = static_cast<std::uint32_t>(i);
-    for (;;) {
-      group_subset(plan, *t, pend,
-                   [&](std::uint32_t i) { return shard_index_in(*t, keys[i]); });
-      defer.clear();
-      for (std::size_t s = 0; s <= t->mask; ++s) {
-        const std::size_t b = s == 0 ? 0 : plan.start[s - 1], e = plan.start[s];
-        if (b != e)
-          t->shards[s]->multi_get(keys, plan.order.data() + b, e - b, out, tid,
-                                  defer);
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    {
+      TableGuard g(*this, tid);
+      Table* t = g.table;
+      static thread_local ShardPlan plan;  // scratch: reused across calls
+      static thread_local std::vector<std::uint32_t> pend, defer;
+      pend.resize(n);
+      for (std::size_t i = 0; i < n; ++i)
+        pend[i] = static_cast<std::uint32_t>(i);
+      for (;;) {
+        group_subset(plan, *t, pend, [&](std::uint32_t i) {
+          return shard_index_in(*t, keys[i]);
+        });
+        defer.clear();
+        for (std::size_t s = 0; s <= t->mask; ++s) {
+          const std::size_t b = s == 0 ? 0 : plan.start[s - 1],
+                            e = plan.start[s];
+          if (b != e)
+            t->shards[s]->multi_get(keys, plan.order.data() + b, e - b, out,
+                                    tid, defer);
+        }
+        if (defer.empty()) break;
+        t = wait_forward_all(*t, keys, defer, tid);
+        pend.swap(defer);
       }
-      if (defer.empty()) return;
-      t = wait_forward_all(*t, keys, defer, tid);
-      pend.swap(defer);
     }
+    // One record per batch (end-to-end); the trace shard is the first
+    // key's — a batch spans shards, attribution wants one anchor.
+    if (metrics_ && mt0 != 0)
+      record_op(obs::OpKind::kMultiGet, metrics_->op_multi, mt0, tid, keys[0]);
   }
 
   std::vector<std::optional<V>> multi_get(const std::vector<K>& keys,
@@ -336,6 +388,7 @@ class KvStore {
   std::size_t multi_put(const std::pair<K, V>* ops, std::size_t n,
                         unsigned tid) {
     if (n == 0) return 0;
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
     std::size_t inserted = 0;
     {
       TableGuard g(*this, tid);
@@ -369,6 +422,9 @@ class KvStore {
     counters_.inc(kNetInserts, tid, inserted);
     maybe_auto_grow(tid);
     maybe_auto_snapshot(tid);
+    if (metrics_ && mt0 != 0)
+      record_op(obs::OpKind::kMultiPut, metrics_->op_multi, mt0, tid,
+                ops[0].first);
     return inserted;
   }
 
@@ -383,6 +439,7 @@ class KvStore {
   std::size_t multi_remove(const K* keys, std::size_t n, std::optional<V>* out,
                            unsigned tid) {
     if (n == 0) return 0;
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
     std::size_t removed = 0;
     {
       TableGuard g(*this, tid);
@@ -411,6 +468,9 @@ class KvStore {
     }
     counters_.inc(kNetRemoves, tid, removed);
     maybe_auto_snapshot(tid);  // removes append WAL bytes too
+    if (metrics_ && mt0 != 0)
+      record_op(obs::OpKind::kMultiRemove, metrics_->op_multi, mt0, tid,
+                keys[0]);
     return removed;
   }
 
@@ -595,6 +655,28 @@ class KvStore {
     return st;
   }
 
+  // ---- observability (src/obs/; null when cfg.metrics.enabled is off) ----
+
+  obs::KvMetrics* metrics() noexcept { return metrics_.get(); }
+  const obs::KvMetrics* metrics() const noexcept { return metrics_.get(); }
+
+  /// Serialize a fresh registry snapshot (histogram digests + gauges) to
+  /// `path`.  False when metrics are disabled or the write failed.
+  bool dump_metrics(const char* path,
+                    obs::ExportFormat fmt = obs::ExportFormat::kJson) const {
+    if (!metrics_) return false;
+    return obs::dump_to_file(
+        path, obs::serialize(metrics_->registry.snapshot(), fmt));
+  }
+
+  /// Same, to an open file descriptor (e.g. a stats socket or stderr).
+  bool dump_metrics_fd(int fd, obs::ExportFormat fmt =
+                                   obs::ExportFormat::kJson) const {
+    if (!metrics_) return false;
+    return obs::dump_to_fd(fd,
+                           obs::serialize(metrics_->registry.snapshot(), fmt));
+  }
+
  private:
   static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
 
@@ -679,9 +761,76 @@ class KvStore {
             cfg_.persistence.dir, epoch, static_cast<unsigned>(i),
             cfg_.persistence));
         t->shards.back()->attach_wal(t->wals.back().get());
+        attach_wal_metrics(*t->wals.back(), i);
       }
+      attach_tracker_probe(*t->shards.back());
     }
     return t;
+  }
+
+  /// WAL latency probes: fsync + commit-wait histograms on a fixed
+  /// per-stream lane (the flusher has no kv thread slot).
+  void attach_wal_metrics(persist::ShardWal& wal, std::size_t shard) {
+    if (!metrics_) return;
+    wal.set_metrics(&metrics_->wal_fsync, &metrics_->wal_commit_wait,
+                    static_cast<unsigned>(shard) % cfg_.tracker.max_threads);
+  }
+
+  /// WFE-family trackers expose a slow-path latency probe; other
+  /// schemes simply don't have the hook.
+  void attach_tracker_probe(ShardT& sh) {
+    if constexpr (requires {
+                    sh.tracker().set_slow_path_probe(
+                        static_cast<obs::LatencyHistogram*>(nullptr));
+                  }) {
+      if (metrics_) sh.tracker().set_slow_path_probe(&metrics_->wfe_slow_path);
+    }
+  }
+
+  /// End-of-op probe: one conversion + one relaxed lane increment; the
+  /// trace shard is only hashed on the slow branch.  t0 == 0 means
+  /// op_begin() chose not to sample this op.  Out of line on purpose —
+  /// only sampled ops get here, and keeping the histogram machinery out
+  /// of get/put keeps the metrics-on icache footprint flat.
+  [[gnu::noinline]] void record_op(obs::OpKind kind, obs::LatencyHistogram& h,
+                                   std::uint64_t t0, unsigned tid,
+                                   const K& key) {
+    if (t0 == 0) return;
+    const std::uint64_t ns = obs::ticks_to_ns(obs::now_ticks() - t0);
+    h.record_owned(ns, tid);  // tid's lane: this thread is its only writer
+    if (ns >= metrics_->opt.slow_op_ns)
+      metrics_->trace.push(kind, static_cast<std::uint32_t>(shard_index(key)),
+                           ns, obs::tls_cause);
+  }
+
+  /// Gauge collector for the registry/sampler: one stats() pass fans out
+  /// into every gauge (so a snapshot is one resize_mu_ acquisition, not
+  /// nineteen).
+  void collect_gauges(std::vector<obs::GaugeValue>& out) const {
+    const KvStats st = stats();
+    const ShardStats t = st.total();
+    auto g = [&out](const char* name, double v) {
+      out.push_back({name, v});
+    };
+    g("kv_gets_total", t.gets);
+    g("kv_puts_total", t.puts);
+    g("kv_removes_total", t.removes);
+    g("kv_updates_total", t.updates);
+    g("kv_retire_backlog", t.retire_backlog);
+    g("kv_pending_retired", t.pending_retired);
+    g("kv_unreclaimed", t.unreclaimed);
+    g("kv_wal_durable_lag", t.wal_durable_lag);
+    g("kv_wal_fsyncs_total", t.wal_fsyncs);
+    g("kv_slow_path_entries_total", t.slow_path_entries);
+    g("kv_helped_buckets_total", st.helped_buckets);
+    g("kv_help_conflicts_total", st.help_conflicts);
+    g("kv_forwarded_ops_total", st.forwarded_ops);
+    g("kv_table_epoch", st.table_epoch);
+    g("kv_shard_count", st.shard_count);
+    g("kv_resize_epochs_total", st.resize_epochs);
+    g("kv_migrated_keys_total", st.migrated_keys);
+    g("kv_snapshots_written_total", st.snapshots_written);
+    g("kv_approx_size", approx_size());
   }
 
   std::size_t shard_index_in(const Table& t, const K& key) const noexcept {
@@ -736,6 +885,9 @@ class KvStore {
   void wait_bucket(Table& t, std::size_t s, std::size_t b, unsigned tid) {
     auto& flag = t.migrated[s][b];
     if (flag.load(std::memory_order_acquire) != 0) return;
+    // This op is now migration-bound; if we end up winning the claim,
+    // migrate_bucket upgrades the tag to help-migration.
+    if (metrics_) obs::tls_cause = obs::TraceCause::kFrozenWait;
     util::Backoff backoff;
     bool conflicted = false;
     for (;;) {
@@ -771,6 +923,7 @@ class KvStore {
                                     std::memory_order_acq_rel,
                                     std::memory_order_acquire))
       return false;
+    const std::uint64_t mt0 = metrics_ ? obs::now_ticks() : 0;
     Table* dst = src.next.load(std::memory_order_acquire);
     ShardT& sh = *src.shards[s];
     static thread_local std::vector<std::pair<K, V>> pairs;
@@ -807,6 +960,14 @@ class KvStore {
     // Closing bracket: the ledger adds above happen-before the
     // resizer's acquire read of buckets_done == total.
     src.mig.buckets_done.fetch_add(1, std::memory_order_release);
+    if (metrics_) {
+      // Per-bucket copy latency (freeze/collect/copy/drain under the
+      // claim), helper and resizer alike; the cause tag marks the
+      // carrying op as having done migration work.
+      metrics_->migrate_bucket.record_owned(
+          obs::ticks_to_ns(obs::now_ticks() - mt0), tid);
+      obs::tls_cause = obs::TraceCause::kHelpMigration;
+    }
     return true;
   }
 
@@ -992,6 +1153,7 @@ class KvStore {
       t->wals.push_back(std::make_unique<persist::ShardWal>(
           po.dir, epoch0, static_cast<unsigned>(i), po));
       t->shards[i]->attach_wal(t->wals.back().get());
+      attach_wal_metrics(*t->wals.back(), i);
     }
     snap_seq_ = plan.max_snapshot_id;
     if (po.snapshot_on_open && plan.has_state) {
@@ -1069,6 +1231,11 @@ class KvStore {
   }
 
   KvConfig cfg_;
+  /// Declared before tables_ so it is destroyed AFTER them: WAL flushers
+  /// record a final fsync latency while their streams close.  Null when
+  /// cfg_.metrics.enabled is false — every probe site is one untaken
+  /// branch.
+  std::unique_ptr<obs::KvMetrics> metrics_;
   std::atomic<Table*> table_{nullptr};
   std::atomic<std::uint64_t> epoch_{0};
   /// Per-thread table-epoch announcements (kIdle when not in an op).

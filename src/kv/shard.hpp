@@ -355,6 +355,11 @@ class Shard {
     if (wal_ != nullptr) {
       s.wal_appended_lsn = wal_->appended_lsn();
       s.wal_durable_lsn = wal_->durable_lsn();
+      // Clamped: the two watermarks are read racily and the flusher may
+      // publish durable between the loads.
+      s.wal_durable_lag = s.wal_appended_lsn > s.wal_durable_lsn
+                              ? s.wal_appended_lsn - s.wal_durable_lsn
+                              : 0;
       s.wal_fsyncs = wal_->fsyncs();
     }
     return s;

@@ -49,6 +49,11 @@ struct ShardStats {
   // ---- durability (0 when persistence is disabled) ----
   std::uint64_t wal_appended_lsn = 0;  ///< last LSN reserved on the stream
   std::uint64_t wal_durable_lsn = 0;   ///< durable watermark (free gate)
+  /// appended − durable (clamped): how far this stream's group commit is
+  /// behind its mutators.  In total() this aggregates as the MAX over
+  /// shards — the LSN fields themselves are per-stream ordinals and stay
+  /// zero there, since a sum of LSNs means nothing.
+  std::uint64_t wal_durable_lag = 0;
   std::uint64_t wal_fsyncs = 0;
 
   std::uint64_t ops() const noexcept { return gets + puts + removes + updates; }
@@ -116,8 +121,8 @@ struct KvStats {
       t.value_cell_retires += s.value_cell_retires;
       t.batched_ops += s.batched_ops;
       t.migrated_in += s.migrated_in;
-      t.wal_appended_lsn += s.wal_appended_lsn;
-      t.wal_durable_lsn += s.wal_durable_lsn;
+      if (s.wal_durable_lag > t.wal_durable_lag)
+        t.wal_durable_lag = s.wal_durable_lag;
       t.wal_fsyncs += s.wal_fsyncs;
     }
     return t;
@@ -146,6 +151,7 @@ inline void to_json(util::JsonWriter& j, const ShardStats& s) {
   j.kv("migrated_in", s.migrated_in);
   j.kv("wal_appended_lsn", s.wal_appended_lsn);
   j.kv("wal_durable_lsn", s.wal_durable_lsn);
+  j.kv("wal_durable_lag", s.wal_durable_lag);
   j.kv("wal_fsyncs", s.wal_fsyncs);
   j.end_object();
 }

@@ -1,0 +1,100 @@
+#pragma once
+// Cheap monotonic clock for hot-path latency probes.
+//
+// std::chrono::steady_clock is a vDSO call (~20-25ns); timing every kv
+// operation with two of them would blow the metrics overhead budget on
+// ops that themselves cost a few hundred ns.  On x86-64 we read the TSC
+// directly (~7ns round trip for a start/stop pair) and convert tick
+// deltas to nanoseconds with a fixed-point multiplier calibrated once
+// against steady_clock.  Probes therefore store *ticks* and convert to
+// ns only when a sample is recorded, so the conversion multiply is paid
+// once per sample, not twice.
+//
+// The calibration busy-waits ~2ms on first use; call warm_up() from
+// setup code (KvMetrics does) so no measurement window pays it.
+//
+// Non-x86 builds fall back to steady_clock with an identity conversion.
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define WFE_OBS_HAS_TSC 1
+#else
+#define WFE_OBS_HAS_TSC 0
+#endif
+
+namespace wfe::obs {
+
+#if WFE_OBS_HAS_TSC
+
+namespace detail {
+
+/// ns = ticks * mult >> kShift, calibrated against steady_clock.
+struct TscCalib {
+  std::uint64_t mult;
+  static constexpr unsigned kShift = 24;
+};
+
+inline TscCalib calibrate_tsc() noexcept {
+  namespace ch = std::chrono;
+  const auto wall0 = ch::steady_clock::now();
+  const std::uint64_t t0 = __rdtsc();
+  // ~2ms window: long enough that steady_clock granularity and the
+  // serialization cost of the clock reads are noise.
+  for (;;) {
+    const auto wall1 = ch::steady_clock::now();
+    const std::uint64_t t1 = __rdtsc();
+    const auto ns =
+        ch::duration_cast<ch::nanoseconds>(wall1 - wall0).count();
+    if (ns >= 2'000'000 && t1 > t0) {
+      const double per_tick =
+          static_cast<double>(ns) / static_cast<double>(t1 - t0);
+      return TscCalib{static_cast<std::uint64_t>(
+          per_tick * static_cast<double>(1ull << TscCalib::kShift))};
+    }
+  }
+}
+
+inline const TscCalib& tsc_calib() noexcept {
+  static const TscCalib c = calibrate_tsc();
+  return c;
+}
+
+}  // namespace detail
+
+/// Opaque monotonic timestamp; subtract two and feed to ticks_to_ns().
+inline std::uint64_t now_ticks() noexcept { return __rdtsc(); }
+
+inline std::uint64_t ticks_to_ns(std::uint64_t ticks) noexcept {
+  const auto& c = detail::tsc_calib();
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(ticks) * c.mult) >>
+      detail::TscCalib::kShift);
+}
+
+#else
+
+inline std::uint64_t now_ticks() noexcept {
+  namespace ch = std::chrono;
+  return static_cast<std::uint64_t>(
+      ch::duration_cast<ch::nanoseconds>(
+          ch::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline std::uint64_t ticks_to_ns(std::uint64_t ticks) noexcept {
+  return ticks;
+}
+
+#endif  // WFE_OBS_HAS_TSC
+
+/// Monotonic nanoseconds (two-call convenience; hot paths should keep
+/// ticks and convert the delta instead).
+inline std::uint64_t now_ns() noexcept { return ticks_to_ns(now_ticks()); }
+
+/// Force calibration outside any measurement window.
+inline void warm_up() noexcept { (void)ticks_to_ns(1); }
+
+}  // namespace wfe::obs

@@ -1,0 +1,132 @@
+#pragma once
+// KvMetrics: the bundle KvStore owns when KvConfig::metrics.enabled.
+//
+// Null-object discipline: a disabled store holds no KvMetrics at all and
+// every instrumentation site is one untaken `if (metrics_)` branch; an
+// enabled store pays two TSC reads plus one histogram record per op.
+// All histograms live in the embedded registry (so the sampler and the
+// exporters see them); KvMetrics keeps raw references for the hot paths.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "obs/clock.hpp"
+#include "obs/histogram.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace wfe::obs {
+
+struct MetricsOptions {
+  bool enabled = false;
+  /// Per-thread op sampling: the op probes time every 2^sample_shift-th
+  /// op (0 = every op).  A TSC read costs ~15-20ns on virtualized hosts,
+  /// so timing every op can eat >10% of a sub-microsecond op; at the
+  /// default 1/16 the unsampled ops pay one thread-local increment and a
+  /// predictable branch.  Percentiles are computed over the sampled
+  /// population; the exact op COUNTS always come from KvStats gauges.
+  /// Only the per-op probes sample — fsync, commit-wait, migration and
+  /// WFE slow-path events are rare and always recorded.
+  unsigned sample_shift = 4;
+  /// Ops at or above this end-to-end latency push a trace event.
+  std::uint64_t slow_op_ns = 1'000'000;  // 1ms
+  std::size_t trace_capacity = 4096;     // rounded up to a power of two
+  /// Background sampler (set sampler=false to snapshot manually only).
+  bool sampler = true;
+  std::uint32_t sample_interval_ms = 100;
+  std::size_t sample_ring = 128;  ///< retained snapshots
+};
+
+/// Per-thread op tick driving the sampling decision in op_begin().
+inline thread_local std::uint64_t tls_op_tick = 0;
+
+class KvMetrics {
+ public:
+  KvMetrics(const MetricsOptions& options, unsigned lanes)
+      : opt(options),
+        trace(options.trace_capacity),
+        op_get(registry.add_histogram("kv_op_get_ns", lanes)),
+        op_put(registry.add_histogram("kv_op_put_ns", lanes)),
+        op_update(registry.add_histogram("kv_op_update_ns", lanes)),
+        op_remove(registry.add_histogram("kv_op_remove_ns", lanes)),
+        op_multi(registry.add_histogram("kv_op_multi_ns", lanes)),
+        wal_fsync(registry.add_histogram("kv_wal_fsync_ns", lanes)),
+        wal_commit_wait(
+            registry.add_histogram("kv_wal_commit_wait_ns", lanes)),
+        migrate_bucket(
+            registry.add_histogram("kv_migrate_bucket_copy_ns", lanes)),
+        wfe_slow_path(registry.add_histogram("kv_wfe_slow_path_ns", lanes)),
+        sample_mask_((std::uint64_t{1} << options.sample_shift) - 1) {
+    warm_up();  // pay TSC calibration here, not in a measurement window
+  }
+
+  /// Call at the start of an instrumented op.  Returns the tick
+  /// timestamp record_op() closes against, or 0 when this op is not
+  /// sampled (record_op then does nothing; the unsampled path is one
+  /// thread-local increment and a predictable branch).  A raw TSC read
+  /// of 0 cannot occur after boot, so 0 is safe as the skip sentinel.
+  std::uint64_t op_begin() noexcept {
+    if ((++tls_op_tick & sample_mask_) != 0) return 0;
+    return op_begin_sampled();
+  }
+
+  /// Cold half of op_begin, kept out of line so the per-op inline
+  /// footprint in get/put is just the tick increment and a branch.
+  [[gnu::noinline]] std::uint64_t op_begin_sampled() noexcept {
+    tls_cause = TraceCause::kNone;
+    return now_ticks();
+  }
+
+  /// Histogram record + slow-op trace.  `lane` must be owned by the
+  /// calling thread (it is its thread slot in practice); `shard` is only
+  /// consulted on the slow branch, so callers may pass a lazily computed
+  /// value there.
+  [[gnu::noinline]] void record_op(OpKind kind, LatencyHistogram& h,
+                                   std::uint64_t t0_ticks, unsigned lane,
+                                   std::uint32_t shard) noexcept {
+    if (t0_ticks == 0) return;  // op_begin() skipped this op (sampling)
+    const std::uint64_t ns = ticks_to_ns(now_ticks() - t0_ticks);
+    h.record_owned(ns, lane);
+    if (ns >= opt.slow_op_ns) trace.push(kind, shard, ns, tls_cause);
+  }
+
+  void start_sampler() {
+    if (!opt.sampler) return;
+    sampler_.emplace(registry, opt.sample_interval_ms, opt.sample_ring);
+    sampler_->start();
+  }
+
+  /// Must run before the store tears down tables/WALs: the sampler's
+  /// gauge collector walks live store state.
+  void stop_sampler() {
+    if (sampler_) sampler_->stop();
+  }
+
+  Sampler* sampler() noexcept { return sampler_ ? &*sampler_ : nullptr; }
+  const Sampler* sampler() const noexcept {
+    return sampler_ ? &*sampler_ : nullptr;
+  }
+
+  const MetricsOptions opt;
+  MetricsRegistry registry;
+  TraceRing trace;
+
+  LatencyHistogram& op_get;
+  LatencyHistogram& op_put;
+  LatencyHistogram& op_update;
+  LatencyHistogram& op_remove;
+  LatencyHistogram& op_multi;
+  LatencyHistogram& wal_fsync;
+  LatencyHistogram& wal_commit_wait;
+  LatencyHistogram& migrate_bucket;
+  LatencyHistogram& wfe_slow_path;
+
+ private:
+  std::uint64_t sample_mask_;
+  std::optional<Sampler> sampler_;
+};
+
+}  // namespace wfe::obs

@@ -1,0 +1,102 @@
+#pragma once
+// MetricsRegistry: named histograms + pull-model gauges, snapshotted as
+// one coherent view.
+//
+// Histograms are registered once at setup (KvMetrics does this in its
+// constructor) and recorded into lock-free from the hot paths; the
+// registry mutex guards only the registration vectors and is taken by
+// snapshot() and registration, never by record().
+//
+// Gauges use a pull model: a *collector* callback appends GaugeValues
+// when a snapshot is taken.  KvStore registers a single collector that
+// calls its stats() once and fans the KvStats fields out, so one sample
+// costs one stats pass regardless of how many gauges it feeds.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/histogram.hpp"
+
+namespace wfe::obs {
+
+/// Percentile digest of one histogram; what samplers store and exporters
+/// serialize (the full bucket vector stays internal).
+struct HistogramSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t max_ns = 0;
+  double mean_ns = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p90_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+};
+
+struct GaugeValue {
+  std::string name;
+  double value = 0;
+};
+
+struct RegistrySnapshot {
+  std::uint64_t at_ns = 0;  ///< monotonic timestamp of the snapshot
+  std::vector<HistogramSummary> histograms;
+  std::vector<GaugeValue> gauges;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register a histogram; the reference stays valid for the registry's
+  /// lifetime (histograms are never removed).
+  LatencyHistogram& add_histogram(std::string hist_name, unsigned lanes) {
+    std::lock_guard<std::mutex> lk(mu_);
+    hists_.emplace_back(std::move(hist_name),
+                        std::make_unique<LatencyHistogram>(lanes));
+    return *hists_.back().second;
+  }
+
+  /// Register a gauge collector, called on every snapshot.
+  void add_collector(std::function<void(std::vector<GaugeValue>&)> fn) {
+    std::lock_guard<std::mutex> lk(mu_);
+    collectors_.push_back(std::move(fn));
+  }
+
+  RegistrySnapshot snapshot() const {
+    RegistrySnapshot s;
+    s.at_ns = now_ns();
+    std::lock_guard<std::mutex> lk(mu_);
+    s.histograms.reserve(hists_.size());
+    for (const auto& [hist_name, h] : hists_) {
+      const HistogramSnapshot hs = h->snapshot();
+      HistogramSummary sum;
+      sum.name = hist_name;
+      sum.count = hs.count;
+      sum.max_ns = hs.max;
+      sum.mean_ns = hs.mean();
+      sum.p50_ns = hs.percentile(50);
+      sum.p90_ns = hs.percentile(90);
+      sum.p99_ns = hs.percentile(99);
+      sum.p999_ns = hs.percentile(99.9);
+      s.histograms.push_back(std::move(sum));
+    }
+    for (const auto& c : collectors_) c(s.gauges);
+    return s;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<LatencyHistogram>>>
+      hists_;
+  std::vector<std::function<void(std::vector<GaugeValue>&)>> collectors_;
+};
+
+}  // namespace wfe::obs

@@ -1,0 +1,112 @@
+#pragma once
+// Background sampler: snapshots a MetricsRegistry on a fixed interval
+// into a bounded time-series ring — the store's periodic dashboard view.
+//
+// The sampler thread only ever calls MetricsRegistry::snapshot() (which
+// takes the registry mutex and whatever the gauge collectors take — for
+// KvStore, its resize_mu_), so it is safe to run concurrently with
+// resizes, cooperative helpers and the WAL flusher; those paths never
+// block on the sampler.  History access is mutex-protected: this is the
+// cold read side, not a hot path.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace wfe::obs {
+
+class Sampler {
+ public:
+  Sampler(MetricsRegistry& reg, std::uint32_t interval_ms,
+          std::size_t capacity)
+      : reg_(reg),
+        interval_ms_(interval_ms == 0 ? 1 : interval_ms),
+        capacity_(capacity == 0 ? 1 : capacity) {}
+
+  ~Sampler() { stop(); }
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  void start() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (running_) return;
+    stop_ = false;
+    running_ = true;
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!running_) return;
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      running_ = false;
+    }
+  }
+
+  bool running() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return running_;
+  }
+
+  std::uint64_t samples_taken() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return taken_;
+  }
+
+  /// Oldest-to-newest copy of the retained window.
+  std::vector<RegistrySnapshot> history() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return {ring_.begin(), ring_.end()};
+  }
+
+  /// Most recent sample (empty snapshot if none taken yet).
+  RegistrySnapshot latest() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ring_.empty() ? RegistrySnapshot{} : ring_.back();
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stop_; }))
+        break;
+      lk.unlock();
+      // Snapshot outside mu_ so history readers never wait on a slow
+      // gauge collector (stats() takes the store's resize mutex).
+      RegistrySnapshot s = reg_.snapshot();
+      lk.lock();
+      ring_.push_back(std::move(s));
+      if (ring_.size() > capacity_) ring_.pop_front();
+      ++taken_;
+    }
+  }
+
+  MetricsRegistry& reg_;
+  const std::uint32_t interval_ms_;
+  const std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+  std::deque<RegistrySnapshot> ring_;
+  std::uint64_t taken_ = 0;
+};
+
+}  // namespace wfe::obs

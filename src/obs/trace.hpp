@@ -1,0 +1,163 @@
+#pragma once
+// Lock-free slow-op trace ring.
+//
+// Operations whose end-to-end latency exceeds KvConfig::metrics.slow_op_ns
+// push one event {op, key-shard, ns, cause} here, so a p999 spike seen in
+// the histograms can be attributed after the fact: was the op waiting on
+// a frozen bucket, copying buckets for a resize, stalled on WAL
+// backpressure, or on the reclamation slow path?
+//
+// Writers claim a slot with one relaxed fetch_add and publish via a
+// per-slot sequence word (release store; readers acquire-load it before
+// and after copying the fields and discard the slot on mismatch).  Every
+// field is an atomic accessed relaxed, so a reader racing a lapping
+// writer sees a torn-but-well-defined event that the seq re-check
+// rejects — no locks, no waiting, data-race-free under TSan.
+//
+// The *cause* is carried in a thread_local (`tls_cause`): deep layers
+// (WAL wait, bucket freeze wait, WFE slow path) tag the condition where
+// it happens, and the op wrapper in KvStore reads the tag when the
+// latency threshold trips.  That keeps the annotation O(1) and avoids
+// plumbing a context object through every call chain.  Last writer wins
+// when an op hits several causes, which is fine for attribution.
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/cacheline.hpp"
+
+namespace wfe::obs {
+
+enum class OpKind : std::uint8_t {
+  kGet = 0,
+  kPut,
+  kInsert,
+  kUpdate,
+  kRemove,
+  kMultiGet,
+  kMultiPut,
+  kMultiRemove,
+};
+
+enum class TraceCause : std::uint8_t {
+  kNone = 0,         ///< plain slow op (allocator, scheduler, cache)
+  kFrozenWait,       ///< waited on a bucket frozen for migration
+  kHelpMigration,    ///< did migration work (helper or resize driver)
+  kWalBackpressure,  ///< blocked on WAL ring space or durable watermark
+  kSlowPath,         ///< reclamation took the WFE wait-free slow path
+};
+
+inline const char* name(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kGet: return "get";
+    case OpKind::kPut: return "put";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kUpdate: return "update";
+    case OpKind::kRemove: return "remove";
+    case OpKind::kMultiGet: return "multi_get";
+    case OpKind::kMultiPut: return "multi_put";
+    case OpKind::kMultiRemove: return "multi_remove";
+  }
+  return "?";
+}
+
+inline const char* name(TraceCause c) noexcept {
+  switch (c) {
+    case TraceCause::kNone: return "none";
+    case TraceCause::kFrozenWait: return "frozen-wait";
+    case TraceCause::kHelpMigration: return "help-migration";
+    case TraceCause::kWalBackpressure: return "wal-backpressure";
+    case TraceCause::kSlowPath: return "slow-path";
+  }
+  return "?";
+}
+
+/// Set by instrumented wait sites, consumed (and reset) by the op wrapper.
+inline thread_local TraceCause tls_cause = TraceCause::kNone;
+
+struct TraceEvent {
+  std::uint64_t seq = 0;  ///< global push order (1-based)
+  std::uint64_t ns = 0;
+  std::uint32_t shard = 0;
+  OpKind op = OpKind::kGet;
+  TraceCause cause = TraceCause::kNone;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity) {
+    std::size_t cap = std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity);
+    mask_ = cap - 1;
+    slots_ = std::make_unique<Slot[]>(cap);
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  void push(OpKind op, std::uint32_t shard, std::uint64_t ns,
+            TraceCause cause) noexcept {
+    const std::uint64_t s = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& sl = slots_[s & mask_];
+    // Invalidate, write fields, then publish seq = s+1 (0 means empty).
+    sl.seq.store(0, std::memory_order_release);
+    sl.ns.store(ns, std::memory_order_relaxed);
+    sl.shard.store(shard, std::memory_order_relaxed);
+    sl.op.store(static_cast<std::uint8_t>(op), std::memory_order_relaxed);
+    sl.cause.store(static_cast<std::uint8_t>(cause),
+                   std::memory_order_relaxed);
+    sl.seq.store(s + 1, std::memory_order_release);
+  }
+
+  /// Total events ever pushed (events beyond capacity overwrote older ones).
+  std::uint64_t total_pushed() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy out currently readable events, oldest first.  Slots mid-write
+  /// (or overwritten between the two seq reads) are skipped.
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    const std::size_t cap = capacity();
+    out.reserve(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      const Slot& sl = slots_[i];
+      const std::uint64_t seq1 = sl.seq.load(std::memory_order_acquire);
+      if (seq1 == 0) continue;
+      TraceEvent e;
+      // Acquire field loads keep the seq re-check below from being
+      // hoisted above them (and avoid atomic_thread_fence, which TSan
+      // cannot model); free on x86.
+      e.ns = sl.ns.load(std::memory_order_acquire);
+      e.shard = sl.shard.load(std::memory_order_acquire);
+      e.op = static_cast<OpKind>(sl.op.load(std::memory_order_acquire));
+      e.cause = static_cast<TraceCause>(sl.cause.load(std::memory_order_acquire));
+      if (sl.seq.load(std::memory_order_relaxed) != seq1) continue;
+      e.seq = seq1;
+      out.push_back(e);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.seq < b.seq;
+              });
+    return out;
+  }
+
+ private:
+  struct alignas(util::kCacheLine) Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint32_t> shard{0};
+    std::atomic<std::uint8_t> op{0};
+    std::atomic<std::uint8_t> cause{0};
+  };
+
+  std::atomic<std::uint64_t> head_{0};
+  std::size_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace wfe::obs

@@ -45,6 +45,9 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "obs/clock.hpp"
+#include "obs/histogram.hpp"
+#include "obs/trace.hpp"
 #include "persist/wal.hpp"
 
 namespace wfe::persist {
@@ -90,6 +93,19 @@ class ShardWal {
   std::uint64_t epoch() const noexcept { return epoch_; }
   unsigned shard() const noexcept { return shard_; }
 
+  /// Attaches latency probes (src/obs/): fsync duration and commit-wait
+  /// duration.  `lane` is a fixed histogram lane for this stream — the
+  /// flusher thread has no kv thread slot, and per-stream lanes keep its
+  /// records off the mutators' cache lines.  Call before traffic;
+  /// detaching (nullptr) while appenders run is not supported.
+  void set_metrics(obs::LatencyHistogram* fsync_hist,
+                   obs::LatencyHistogram* commit_wait_hist,
+                   unsigned lane) noexcept {
+    fsync_hist_ = fsync_hist;
+    commit_wait_hist_ = commit_wait_hist;
+    metrics_lane_ = lane;
+  }
+
   /// Appends one record; returns its LSN.  Honors the stream's sync
   /// mode: kAlways blocks until the watermark covers the record.
   std::uint64_t log(RecordType type, std::uint64_t key, std::uint64_t value) {
@@ -123,8 +139,11 @@ class ShardWal {
         reserved_.fetch_add(1, std::memory_order_acq_rel) + 1;
     // Ring backpressure: the slot is reusable only once the flusher has
     // consumed its previous occupant (lsn - cap_).
-    while (lsn - consumed_pub_.load(std::memory_order_acquire) > cap_)
+    while (lsn - consumed_pub_.load(std::memory_order_acquire) > cap_) {
+      if (commit_wait_hist_ != nullptr)
+        obs::tls_cause = obs::TraceCause::kWalBackpressure;
       std::this_thread::yield();
+    }
     Slot& s = ring_[(lsn - 1) & (cap_ - 1)];
     s.type = type;
     s.key = key;
@@ -460,7 +479,13 @@ class ShardWal {
   /// A failed sync stalls the watermark — no durable ack without disk.
   void advance_durable_synced() {
     if (sync_suppressed_.load(std::memory_order_acquire)) return;
-    if (fd_ < 0 || ::fdatasync(fd_) != 0) return;
+    if (fd_ < 0) return;
+    const std::uint64_t t0 =
+        fsync_hist_ != nullptr ? obs::now_ticks() : 0;
+    if (::fdatasync(fd_) != 0) return;
+    if (fsync_hist_ != nullptr)
+      fsync_hist_->record(obs::ticks_to_ns(obs::now_ticks() - t0),
+                          metrics_lane_);
     fsyncs_.fetch_add(1, std::memory_order_relaxed);
     synced_bytes_ = written_bytes_;
     durable_.store(consumed_, std::memory_order_release);
@@ -480,7 +505,12 @@ class ShardWal {
     // fsync the finished segment so truncation can trust it, then swap
     // in the next file.  Runs on the flusher between batches.
     if (fd_ >= 0) {
+      const std::uint64_t t0 =
+          fsync_hist_ != nullptr ? obs::now_ticks() : 0;
       ::fdatasync(fd_);
+      if (fsync_hist_ != nullptr)
+        fsync_hist_->record(obs::ticks_to_ns(obs::now_ticks() - t0),
+                            metrics_lane_);
       fsyncs_.fetch_add(1, std::memory_order_relaxed);
       synced_bytes_ = written_bytes_;
       ::close(fd_);
@@ -501,12 +531,23 @@ class ShardWal {
 
   void wait_durable(std::uint64_t lsn) {
     if (durable_.load(std::memory_order_acquire) >= lsn) return;
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_flush_.notify_one();  // don't ride out the idle timeout
-    cv_durable_.wait(lk, [&] {
-      return durable_.load(std::memory_order_acquire) >= lsn ||
-             crashed_.load(std::memory_order_acquire) || stop_;
-    });
+    // This op is now group-commit bound: tag it so a slow-op trace can
+    // attribute the latency, and time the wait itself.
+    const std::uint64_t t0 =
+        commit_wait_hist_ != nullptr ? obs::now_ticks() : 0;
+    if (commit_wait_hist_ != nullptr)
+      obs::tls_cause = obs::TraceCause::kWalBackpressure;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_flush_.notify_one();  // don't ride out the idle timeout
+      cv_durable_.wait(lk, [&] {
+        return durable_.load(std::memory_order_acquire) >= lsn ||
+               crashed_.load(std::memory_order_acquire) || stop_;
+      });
+    }
+    if (commit_wait_hist_ != nullptr)
+      commit_wait_hist_->record(obs::ticks_to_ns(obs::now_ticks() - t0),
+                                metrics_lane_);
   }
 
   const std::string dir_;
@@ -524,6 +565,11 @@ class ShardWal {
   std::atomic<bool> sync_suppressed_{false};
   std::atomic<bool> crashed_{false};
   std::atomic<std::uint64_t> fsyncs_{0};
+
+  // Latency probes (null when the store runs without metrics).
+  obs::LatencyHistogram* fsync_hist_ = nullptr;
+  obs::LatencyHistogram* commit_wait_hist_ = nullptr;
+  unsigned metrics_lane_ = 0;
 
   // Flusher-owned (plus mu_-guarded shared bits).
   std::uint64_t consumed_ = 0;  ///< last LSN written to the file

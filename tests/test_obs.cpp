@@ -1,0 +1,723 @@
+// Observability layer (src/obs/) tests.
+//
+//   * histogram bucket contract: exact below the linear cutoff, bounded
+//     relative width above it, clamped at the top octave;
+//   * percentiles vs an exact sorted oracle: every reported percentile
+//     must land within one bucket of the oracle sample (the advertised
+//     bounded-relative-error contract), across distributions;
+//   * per-lane merge: counts/sums/maxes recorded on distinct lanes (and
+//     via both record() and record_owned()) aggregate exactly;
+//   * trace ring: concurrent pushers + a racing reader, seq-validated
+//     snapshots, lapping behavior;
+//   * registry + exporters: the JSON export round-trips through an
+//     in-test JSON parser, the Prometheus text carries the summary
+//     series, file/fd dumps land on disk;
+//   * KvStats wal_durable_lag aggregates as max (never a sum of LSNs);
+//   * end-to-end, typed over every tracker: a persistent store with
+//     metrics enabled (sample_shift=0, slow_op_ns=0 so every op records
+//     and traces), driven through every instrumented op plus a resize,
+//     with the background sampler live — then the histograms, gauges,
+//     trace causes and dump_metrics outputs must all line up;
+//   * sampler vs live resize/persist traffic (WFE_TEST_OPS shrinks it
+//     for the TSan/ASan jobs);
+//   * metrics disabled: null accessor, failing dumps, zero overhead
+//     branches still correct.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "kv/kv_store.hpp"
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "tracker_types.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace wfe;
+
+unsigned env_unsigned(const char* name, unsigned fallback) {
+  return static_cast<unsigned>(
+      harness::env_long(name, static_cast<long>(fallback)));
+}
+
+// On a loaded 1-CPU host (sanitizer CI) the sampler thread may not have
+// completed its first interval by the time the workload joins; poll with
+// a generous bound instead of asserting instantaneous progress.
+bool wait_for_samples(const obs::Sampler& sampler, std::uint64_t at_least,
+                      unsigned timeout_ms = 5000) {
+  for (unsigned waited = 0; waited < timeout_ms; ++waited) {
+    if (sampler.samples_taken() >= at_least) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return sampler.samples_taken() >= at_least;
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser for exporter round-trips: parses the full value
+// grammar the exporter emits (objects, arrays, strings, numbers) and
+// exposes flat lookup by path ("histograms", "gauges.kv_gets_total").
+// Failing to parse any byte of the export is a test failure.
+// ---------------------------------------------------------------------
+struct MiniJson {
+  enum class Kind { kObject, kArray, kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  double num = 0;
+  std::string str;
+  bool boolean = false;
+  std::map<std::string, MiniJson> members;  // kObject
+  std::vector<MiniJson> items;              // kArray
+};
+
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(const std::string& text) : s_(text) {}
+
+  std::optional<MiniJson> parse() {
+    MiniJson v;
+    if (!value(v)) return std::nullopt;
+    ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  bool lit(const char* w, std::size_t n) {
+    if (s_.compare(pos_, n, w) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool value(MiniJson& out) {
+    ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out.kind = MiniJson::Kind::kString; return string(out.str);
+      case 't':
+        out.kind = MiniJson::Kind::kBool;
+        out.boolean = true;
+        return lit("true", 4);
+      case 'f':
+        out.kind = MiniJson::Kind::kBool;
+        out.boolean = false;
+        return lit("false", 5);
+      case 'n': out.kind = MiniJson::Kind::kNull; return lit("null", 4);
+      default: return number(out);
+    }
+  }
+
+  bool object(MiniJson& out) {
+    out.kind = MiniJson::Kind::kObject;
+    ++pos_;  // '{'
+    ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    for (;;) {
+      ws();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !string(key)) return false;
+      ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      MiniJson v;
+      if (!value(v)) return false;
+      out.members.emplace(std::move(key), std::move(v));
+      ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array(MiniJson& out) {
+    out.kind = MiniJson::Kind::kArray;
+    ++pos_;  // '['
+    ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    for (;;) {
+      MiniJson v;
+      if (!value(v)) return false;
+      out.items.push_back(std::move(v));
+      ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        if (++pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: out += s_[pos_]; break;  // good enough for our output
+        }
+        ++pos_;
+      } else {
+        out += s_[pos_++];
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool number(MiniJson& out) {
+    out.kind = MiniJson::Kind::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out.num = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+const MiniJson* find_histogram(const MiniJson& root, const std::string& hname) {
+  auto it = root.members.find("histograms");
+  if (it == root.members.end()) return nullptr;
+  for (const MiniJson& h : it->second.items) {
+    auto n = h.members.find("name");
+    if (n != h.members.end() && n->second.str == hname) return &h;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Histogram bucket contract
+// ---------------------------------------------------------------------
+
+TEST(ObsHistogram, BucketIndexContract) {
+  using H = obs::LatencyHistogram;
+  // Linear region: exact.
+  for (std::uint64_t v = 0; v < H::kSubBuckets; ++v)
+    EXPECT_EQ(H::bucket_index(v), v);
+  // Monotone non-decreasing across a wide sample of values; lower bound
+  // of the mapped bucket never exceeds the value; relative bucket width
+  // bounded by 2^-kSubBits in the octave region.
+  unsigned prev = 0;
+  for (std::uint64_t v = 1; v < (1ull << 42); v = v + 1 + v / 3) {
+    const unsigned idx = H::bucket_index(v);
+    EXPECT_GE(idx, prev);
+    EXPECT_LT(idx, H::kBuckets);
+    prev = idx;
+    if (v >= (1ull << H::kMaxExp)) continue;  // clamp region
+    EXPECT_LE(H::bucket_lo(idx), v);
+    if (v >= H::kSubBuckets) {
+      const std::uint64_t lo = H::bucket_lo(idx);
+      const std::uint64_t width =
+          H::bucket_lo(idx + 1) > lo ? H::bucket_lo(idx + 1) - lo : 1;
+      EXPECT_LE(width, std::max<std::uint64_t>(1, lo >> (H::kSubBits - 1)))
+          << "bucket too wide at v=" << v;
+    }
+  }
+  // Clamp: everything at or past 2^kMaxExp lands in the last bucket.
+  EXPECT_EQ(H::bucket_index(1ull << H::kMaxExp), H::kBuckets - 1);
+  EXPECT_EQ(H::bucket_index(~std::uint64_t{0}), H::kBuckets - 1);
+}
+
+TEST(ObsHistogram, PercentileMatchesExactOracle) {
+  obs::LatencyHistogram h(1);
+  util::Xoshiro256 rng(7);
+  std::vector<std::uint64_t> samples;
+  // Mixed distribution: dense low-latency mass plus a long tail, the
+  // shape op latencies actually have.
+  for (int i = 0; i < 60000; ++i) {
+    std::uint64_t v;
+    const std::uint64_t pick = rng.next_bounded(100);
+    if (pick < 70)
+      v = 80 + rng.next_bounded(400);           // fast path cluster
+    else if (pick < 95)
+      v = 2'000 + rng.next_bounded(30'000);     // mid
+    else
+      v = 1'000'000 + rng.next_bounded(50'000'000);  // tail
+    samples.push_back(v);
+    h.record(v, 0);
+  }
+  std::sort(samples.begin(), samples.end());
+  const obs::HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.count, samples.size());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    // Nearest-rank oracle, same convention as the snapshot.
+    std::size_t rank = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(samples.size()));
+    if (static_cast<double>(rank) < p / 100.0 * samples.size()) ++rank;
+    if (rank == 0) rank = 1;
+    const std::uint64_t exact = samples[rank - 1];
+    const std::uint64_t got = h.snapshot().percentile(p);
+    // The reported value is the midpoint of the bucket holding the
+    // oracle sample: within one bucket index either way.
+    const unsigned bi_exact = obs::LatencyHistogram::bucket_index(exact);
+    const unsigned bi_got = obs::LatencyHistogram::bucket_index(got);
+    EXPECT_LE(bi_got >= bi_exact ? bi_got - bi_exact : bi_exact - bi_got, 1u)
+        << "p=" << p << " exact=" << exact << " got=" << got;
+  }
+  EXPECT_EQ(s.percentile(100.0), samples.back());
+  EXPECT_EQ(s.max, samples.back());
+  // Mean within the bucketing's relative error.
+  double exact_mean = 0;
+  for (std::uint64_t v : samples) exact_mean += static_cast<double>(v);
+  exact_mean /= static_cast<double>(samples.size());
+  EXPECT_NEAR(s.mean(), exact_mean, exact_mean * 0.001 + 1);
+}
+
+TEST(ObsHistogram, LaneMergeAndOwnedRecord) {
+  obs::LatencyHistogram h(4);
+  // Distinct values per lane, half through record(), half through the
+  // single-writer record_owned() — the snapshot must not care.
+  std::uint64_t sum = 0, max = 0, count = 0;
+  for (unsigned lane = 0; lane < 4; ++lane) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      const std::uint64_t v = lane * 1'000'000 + i * 17 + 1;
+      if (lane % 2 == 0)
+        h.record(v, lane);
+      else
+        h.record_owned(v, lane);
+      sum += v;
+      max = std::max(max, v);
+      ++count;
+    }
+  }
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, count);
+  EXPECT_EQ(s.sum, sum);
+  EXPECT_EQ(s.max, max);
+  EXPECT_EQ(s.mean(), static_cast<double>(sum) / static_cast<double>(count));
+}
+
+TEST(ObsHistogram, EmptySnapshot) {
+  obs::LatencyHistogram h(2);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.percentile(50), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Trace ring
+// ---------------------------------------------------------------------
+
+TEST(ObsTrace, PushSnapshotOrder) {
+  obs::TraceRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ring.push(obs::OpKind::kGet, static_cast<std::uint32_t>(i), i * 100,
+              obs::TraceCause::kNone);
+  auto evs = ring.snapshot();
+  ASSERT_EQ(evs.size(), 5u);
+  for (std::size_t i = 0; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].seq, i + 1);
+    EXPECT_EQ(evs[i].shard, i);
+    EXPECT_EQ(evs[i].ns, i * 100);
+  }
+  // Lap the ring: only the newest `capacity` events remain.
+  for (std::uint64_t i = 5; i < 20; ++i)
+    ring.push(obs::OpKind::kPut, 0, i * 100, obs::TraceCause::kSlowPath);
+  evs = ring.snapshot();
+  ASSERT_EQ(evs.size(), 8u);
+  EXPECT_EQ(evs.front().seq, 13u);
+  EXPECT_EQ(evs.back().seq, 20u);
+  EXPECT_EQ(ring.total_pushed(), 20u);
+}
+
+TEST(ObsTrace, ConcurrentPushAndSnapshot) {
+  const unsigned pushers = 4;
+  const std::uint64_t per_thread = env_unsigned("WFE_TEST_OPS", 20000) / 4 + 512;
+  obs::TraceRing ring(256);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto evs = ring.snapshot();
+      // Seqs strictly increasing and every decoded event well-formed.
+      std::uint64_t prev = 0;
+      for (const auto& e : evs) {
+        EXPECT_GT(e.seq, prev);
+        prev = e.seq;
+        EXPECT_LT(static_cast<unsigned>(e.op), 8u);
+        EXPECT_LT(static_cast<unsigned>(e.cause), 5u);
+      }
+    }
+  });
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < pushers; ++t)
+    ts.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < per_thread; ++i)
+        ring.push(static_cast<obs::OpKind>(t % 8), t, i,
+                  static_cast<obs::TraceCause>(i % 5));
+    });
+  for (auto& th : ts) th.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(ring.total_pushed(), pushers * per_thread);
+  auto evs = ring.snapshot();
+  EXPECT_LE(evs.size(), ring.capacity());
+  EXPECT_GT(evs.size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Registry + exporters
+// ---------------------------------------------------------------------
+
+TEST(ObsRegistry, SnapshotAndExportRoundTrip) {
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram& h = reg.add_histogram("test_op_ns", 2);
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.record(i, i % 2);
+  reg.add_collector([](std::vector<obs::GaugeValue>& out) {
+    out.push_back({"test_gauge", 42.5});
+    out.push_back({"test_count", 7});
+  });
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 1000u);
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_GT(snap.at_ns, 0u);
+
+  // JSON round-trip through the in-test parser.
+  const std::string js = obs::to_json_string(snap);
+  auto parsed = MiniJsonParser(js).parse();
+  ASSERT_TRUE(parsed.has_value()) << js;
+  const MiniJson* th = find_histogram(*parsed, "test_op_ns");
+  ASSERT_NE(th, nullptr);
+  EXPECT_EQ(th->members.at("count").num, 1000.0);
+  EXPECT_EQ(th->members.at("max_ns").num, 1000.0);
+  EXPECT_GT(th->members.at("p50_ns").num, 400.0);
+  EXPECT_LT(th->members.at("p50_ns").num, 600.0);
+  const auto& gauges = parsed->members.at("gauges");
+  EXPECT_EQ(gauges.members.at("test_gauge").num, 42.5);
+  EXPECT_EQ(gauges.members.at("test_count").num, 7.0);
+
+  // Prometheus text: summary series + auxiliary max + typed gauges.
+  const std::string prom = obs::to_prometheus(snap);
+  EXPECT_NE(prom.find("# TYPE test_op_ns summary"), std::string::npos);
+  EXPECT_NE(prom.find("test_op_ns{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(prom.find("test_op_ns{quantile=\"0.999\"}"), std::string::npos);
+  EXPECT_NE(prom.find("test_op_ns_count 1000"), std::string::npos);
+  EXPECT_NE(prom.find("test_op_ns_max 1000"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE test_gauge gauge"), std::string::npos);
+  EXPECT_NE(prom.find("test_gauge 42.5"), std::string::npos);
+
+  // serialize() dispatches on format.
+  EXPECT_EQ(obs::serialize(snap, obs::ExportFormat::kJson), js);
+  EXPECT_EQ(obs::serialize(snap, obs::ExportFormat::kPrometheus), prom);
+}
+
+TEST(ObsRegistry, SamplerFillsRing) {
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram& h = reg.add_histogram("sampled_ns", 1);
+  obs::Sampler sampler(reg, /*interval_ms=*/1, /*capacity=*/4);
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  for (int i = 0; i < 200; ++i) {
+    h.record(100, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (sampler.samples_taken() >= 6) break;
+  }
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.samples_taken(), 2u);
+  const auto hist = sampler.history();
+  EXPECT_LE(hist.size(), 4u);  // ring bounded
+  ASSERT_FALSE(hist.empty());
+  // Snapshots are oldest-to-newest and monotone in time.
+  for (std::size_t i = 1; i < hist.size(); ++i)
+    EXPECT_GE(hist[i].at_ns, hist[i - 1].at_ns);
+  EXPECT_EQ(sampler.latest().at_ns, hist.back().at_ns);
+}
+
+// ---------------------------------------------------------------------
+// KvStats durable-lag aggregation (the fixed satellite)
+// ---------------------------------------------------------------------
+
+TEST(ObsStats, WalDurableLagAggregatesAsMax) {
+  kv::KvStats st;
+  for (unsigned i = 0; i < 3; ++i) {
+    kv::ShardStats s;
+    s.shard = i;
+    s.wal_appended_lsn = 1000 * (i + 1);
+    s.wal_durable_lsn = 1000 * (i + 1) - (i * 50);  // lags: 0, 50, 100
+    s.wal_durable_lag = i * 50;
+    s.wal_fsyncs = 10;
+    st.shards.push_back(s);
+  }
+  const kv::ShardStats tot = st.total();
+  // Max over shards, and the per-stream LSN ordinals must NOT be summed.
+  EXPECT_EQ(tot.wal_durable_lag, 100u);
+  EXPECT_EQ(tot.wal_appended_lsn, 0u);
+  EXPECT_EQ(tot.wal_durable_lsn, 0u);
+  EXPECT_EQ(tot.wal_fsyncs, 30u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end over every tracker
+// ---------------------------------------------------------------------
+
+template <class TR>
+class ObsKvTest : public ::testing::Test {};
+TYPED_TEST_SUITE(ObsKvTest, test::AllTrackers);
+
+TYPED_TEST(ObsKvTest, EndToEndMetricsPipeline) {
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, TypeParam>;
+  const std::string dir =
+      "obs_e2e_" + std::string(TypeParam::name()) + "_wal";
+  std::filesystem::remove_all(dir);
+  kv::KvConfig cfg;
+  cfg.shards = 4;
+  cfg.buckets_per_shard = 64;
+  cfg.tracker.max_threads = 4;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  cfg.tracker.force_slow_path = true;  // WFE-family: exercise the probe
+  cfg.persistence.enabled = true;
+  cfg.persistence.dir = dir;
+  cfg.persistence.sync = persist::SyncMode::kAlways;  // fsync histogram
+  cfg.metrics.enabled = true;
+  cfg.metrics.sample_shift = 0;  // record every op
+  cfg.metrics.slow_op_ns = 0;    // trace every op
+  cfg.metrics.sampler = true;
+  cfg.metrics.sample_interval_ms = 1;
+  {
+    Store store(cfg);
+    ASSERT_NE(store.metrics(), nullptr);
+
+    // Prefill, then resize FIRST: migration copies populated buckets
+    // (feeding kv_migrate_bucket_copy_ns), and the op-count gauges below
+    // read the CURRENT table's shard counters — which start fresh on the
+    // post-resize table — so the workload must run after the resize.
+    for (std::uint64_t k = 1; k <= 500; ++k) store.put(k, k, 0);
+    ASSERT_TRUE(store.resize(8, 0));
+
+    const unsigned ops = env_unsigned("WFE_TEST_OPS", 20000) / 10 + 200;
+    std::vector<std::thread> workers_e2e;
+    for (unsigned tid = 0; tid < 3; ++tid)
+      workers_e2e.emplace_back([&, tid] {
+        util::Xoshiro256 rng(77 + tid);
+        for (unsigned i = 0; i < ops; ++i) {
+          const std::uint64_t k = rng.next_bounded(2000) + 1;
+          switch (rng.next_bounded(6)) {
+            case 0: store.get(k, tid); break;
+            case 1: store.put(k, k, tid); break;
+            case 2: store.update(k, k + 1, tid); break;
+            case 3: store.remove(k, tid); break;
+            case 4: {
+              std::uint64_t keys[4] = {k, k + 1, k + 2, k + 3};
+              std::optional<std::uint64_t> out[4];
+              store.multi_get(keys, 4, out, tid);
+              break;
+            }
+            default: {
+              std::pair<std::uint64_t, std::uint64_t> ps[4] = {
+                  {k, 1}, {k + 1, 2}, {k + 2, 3}, {k + 3, 4}};
+              store.multi_put(ps, 4, tid);
+              break;
+            }
+          }
+        }
+      });
+    for (auto& th : workers_e2e) th.join();
+
+    const obs::RegistrySnapshot snap = store.metrics()->registry.snapshot();
+    const auto count_of = [&](const char* hname) -> std::uint64_t {
+      for (const auto& h : snap.histograms)
+        if (h.name == hname) return h.count;
+      ADD_FAILURE() << "missing histogram " << hname;
+      return 0;
+    };
+    EXPECT_GT(count_of("kv_op_get_ns"), 0u);
+    EXPECT_GT(count_of("kv_op_put_ns"), 0u);
+    EXPECT_GT(count_of("kv_op_update_ns"), 0u);
+    EXPECT_GT(count_of("kv_op_remove_ns"), 0u);
+    EXPECT_GT(count_of("kv_op_multi_ns"), 0u);
+    EXPECT_GT(count_of("kv_wal_fsync_ns"), 0u);          // kAlways sync
+    EXPECT_GT(count_of("kv_migrate_bucket_copy_ns"), 0u);  // the resize
+    if (std::string(TypeParam::name()).find("WFE") == 0) {
+      EXPECT_GT(count_of("kv_wfe_slow_path_ns"), 0u);  // forced slow path
+    }
+
+    // Gauges: fed by one stats() pass through the collector.
+    const auto gauge_of = [&](const char* gname) -> double {
+      for (const auto& g : snap.gauges)
+        if (g.name == gname) return g.value;
+      ADD_FAILURE() << "missing gauge " << gname;
+      return -1;
+    };
+    EXPECT_GT(gauge_of("kv_gets_total"), 0.0);
+    EXPECT_GT(gauge_of("kv_puts_total"), 0.0);
+    EXPECT_EQ(gauge_of("kv_shard_count"), 8.0);
+    EXPECT_GE(gauge_of("kv_resize_epochs_total"), 1.0);
+    EXPECT_GE(gauge_of("kv_migrated_keys_total"), 0.0);
+    EXPECT_GE(gauge_of("kv_wal_durable_lag"), 0.0);
+
+    // Trace: slow_op_ns=0 means every op traced; cause tags well-formed,
+    // and the forced-slow-path runs must attribute kSlowPath somewhere.
+    const auto evs = store.metrics()->trace.snapshot();
+    ASSERT_GT(evs.size(), 0u);
+    EXPECT_GT(store.metrics()->trace.total_pushed(), 0u);
+    for (const auto& e : evs) EXPECT_LT(static_cast<unsigned>(e.cause), 5u);
+    if (std::string(TypeParam::name()).find("WFE") == 0) {
+      const bool saw_slow_path =
+          std::any_of(evs.begin(), evs.end(), [](const obs::TraceEvent& e) {
+            return e.cause == obs::TraceCause::kSlowPath;
+          });
+      EXPECT_TRUE(saw_slow_path);
+    }
+
+    // Sampler ran against live traffic.
+    ASSERT_NE(store.metrics()->sampler(), nullptr);
+    EXPECT_TRUE(wait_for_samples(*store.metrics()->sampler(), 1));
+
+    // dump_metrics: file (JSON parses; has every op histogram) and fd.
+    const std::string jpath = dir + "/metrics.json";
+    const std::string ppath = dir + "/metrics.prom";
+    ASSERT_TRUE(store.dump_metrics(jpath.c_str(), obs::ExportFormat::kJson));
+    ASSERT_TRUE(
+        store.dump_metrics(ppath.c_str(), obs::ExportFormat::kPrometheus));
+    std::FILE* f = std::fopen(jpath.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(
+                                text.back())))
+      text.pop_back();
+    auto parsed = MiniJsonParser(text).parse();
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_NE(find_histogram(*parsed, "kv_op_get_ns"), nullptr);
+    EXPECT_NE(find_histogram(*parsed, "kv_wal_fsync_ns"), nullptr);
+    f = std::fopen(ppath.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    // The fd path goes through fdopen(dup(fd)); an anonymous temp file
+    // exercises it without touching the filesystem namespace.
+    std::FILE* tmp = std::tmpfile();
+    ASSERT_NE(tmp, nullptr);
+    EXPECT_TRUE(store.dump_metrics_fd(::fileno(tmp)));
+    std::fclose(tmp);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TYPED_TEST(ObsKvTest, MetricsDisabledIsNullObject) {
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, TypeParam>;
+  kv::KvConfig cfg;
+  cfg.shards = 2;
+  cfg.buckets_per_shard = 64;
+  cfg.tracker.max_threads = 2;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  Store store(cfg);  // metrics.enabled defaults to false
+  EXPECT_EQ(store.metrics(), nullptr);
+  EXPECT_FALSE(store.dump_metrics("/tmp/should_not_exist_obs.json"));
+  EXPECT_FALSE(store.dump_metrics_fd(2));
+  // Ops still work with every probe compiled to an untaken branch.
+  EXPECT_TRUE(store.put(1, 2, 0));
+  EXPECT_EQ(store.get(1, 0), std::optional<std::uint64_t>(2));
+  store.resize(4, 0);
+  EXPECT_EQ(store.get(1, 0), std::optional<std::uint64_t>(2));
+}
+
+// ---------------------------------------------------------------------
+// Sampler vs live resize + persist traffic (the TSan/ASan target)
+// ---------------------------------------------------------------------
+
+TEST(ObsStress, SamplerVsResizeAndPersist) {
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, core::WfeTracker>;
+  const std::string dir = "obs_stress_wal";
+  std::filesystem::remove_all(dir);
+  const unsigned workers = 3;
+  const unsigned control_tid = workers;
+  kv::KvConfig cfg;
+  cfg.shards = 2;
+  cfg.buckets_per_shard = 64;
+  cfg.tracker.max_threads = workers + 1;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  cfg.persistence.enabled = true;
+  cfg.persistence.dir = dir;
+  cfg.persistence.sync = persist::SyncMode::kBatched;
+  cfg.metrics.enabled = true;
+  cfg.metrics.sample_shift = 0;
+  cfg.metrics.slow_op_ns = 10'000;  // only genuinely slow ops trace
+  cfg.metrics.sampler = true;
+  cfg.metrics.sample_interval_ms = 1;  // hammer the snapshot path
+  {
+    Store store(cfg);
+    const unsigned ops = env_unsigned("WFE_TEST_OPS", 20000) / 2 + 500;
+    const unsigned resizes = env_unsigned("WFE_TEST_RESIZES", 6);
+    std::atomic<bool> done{false};
+    std::vector<std::thread> ts;
+    for (unsigned t = 0; t < workers; ++t)
+      ts.emplace_back([&, t] {
+        util::Xoshiro256 rng(100 + t);
+        for (unsigned i = 0; i < ops; ++i) {
+          const std::uint64_t k = rng.next_bounded(4000) + 1;
+          switch (rng.next_bounded(4)) {
+            case 0: store.get(k, t); break;
+            case 1: store.put(k, i, t); break;
+            case 2: store.update(k, i, t); break;
+            default: store.remove(k, t); break;
+          }
+        }
+      });
+    std::thread control([&] {
+      // Grow and shrink while workers run; every cycle forces bucket
+      // migrations the sampler's gauge collector must observe safely.
+      unsigned shards = 2;
+      for (unsigned i = 0; i < resizes && !done.load(); ++i) {
+        shards = shards == 2 ? 8 : 2;
+        store.resize(shards, control_tid);
+      }
+    });
+    for (auto& th : ts) th.join();
+    done.store(true);
+    control.join();
+    // The sampler observed live traffic and its history stays bounded.
+    ASSERT_NE(store.metrics(), nullptr);
+    ASSERT_NE(store.metrics()->sampler(), nullptr);
+    ASSERT_TRUE(wait_for_samples(*store.metrics()->sampler(), 1));
+    EXPECT_LE(store.metrics()->sampler()->history().size(),
+              cfg.metrics.sample_ring);
+    const obs::RegistrySnapshot last = store.metrics()->sampler()->latest();
+    EXPECT_EQ(last.histograms.size(), 9u);
+    EXPECT_FALSE(last.gauges.empty());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

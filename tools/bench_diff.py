@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Fold the per-PR bench files into one trajectory and gate on regressions.
+
+Usage:
+    python3 tools/bench_diff.py [options] BENCH_kv_pr*.json
+
+    --out FILE        trajectory output (default BENCH_trajectory.json)
+    --threshold X     allowed within-run ratio degradation (default 0.08)
+    --warn-only       report regressions but always exit 0
+    --no-trajectory   gate only, do not rewrite the trajectory file
+
+Why within-run ratios and not cross-PR absolutes: the committed bench
+files come from whatever host each PR happened to run on (the current
+ones ran on a 1-vCPU VM where an A/A rerun of the *same binary* moves
+by several percent, see the aa_ratio column).  Absolute Mops/s across
+PRs therefore measure the host, not the code.  Every check below
+compares two numbers measured in the SAME run, interleaved on the same
+host seconds apart, where the methodology noise mostly cancels:
+
+  * obs_overhead rows: on_off_ratio (metrics-on / metrics-off) judged
+    against that row's own aa_ratio (two identical metrics-off stores
+    through the same harness — the same-run noise floor).  The gate
+    trips when metrics cost more than the noise floor plus threshold.
+  * resize rows: post_mops / fresh_mops — throughput on a post-resize
+    table vs a natively-built table of the same geometry.  A drop
+    beyond threshold means migration left the table structurally worse.
+  * persist rows: wal_durable_lag must be 0 when sync=always (a
+    correctness property of the durable gate, not a perf number).
+
+The trajectory file keeps a compact per-PR summary (medians per mode)
+so the numbers remain inspectable over time without re-parsing every
+raw file.
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc["results"] if isinstance(doc, dict) else doc
+    meta = {k: v for k, v in doc.items() if k != "results"} if isinstance(
+        doc, dict) else {}
+    return meta, [r for r in rows if isinstance(r, dict)]
+
+
+def median(xs):
+    return statistics.median(xs) if xs else None
+
+
+def summarize(path, meta, rows):
+    """Compact per-file summary for the trajectory."""
+    by_mode = {}
+    for r in rows:
+        by_mode.setdefault(r.get("mode") or "op", []).append(r)
+    out = {"file": path, "config": meta, "modes": {}}
+    for mode, rs in sorted(by_mode.items()):
+        s = {"rows": len(rs)}
+        if mode in ("op", "persist"):
+            s["median_mops"] = median([r["mops"] for r in rs if "mops" in r])
+            p99s = [r["get_p99_ns"] for r in rs if r.get("get_p99_ns")]
+            if p99s:
+                s["median_get_p99_ns"] = median(p99s)
+        if mode == "resize":
+            ratios = [
+                r["post_mops"] / r["fresh_mops"]
+                for r in rs
+                if r.get("fresh_mops")
+            ]
+            if ratios:
+                s["median_post_fresh_ratio"] = round(median(ratios), 4)
+        if mode == "obs_overhead":
+            s["median_on_off_ratio"] = round(
+                median([r["on_off_ratio"] for r in rs]), 4)
+            s["median_aa_ratio"] = round(
+                median([r["aa_ratio"] for r in rs]), 4)
+        out["modes"][mode] = s
+    return out
+
+
+def check(path, rows, threshold):
+    """Within-run regression checks; returns a list of findings.
+
+    The ratio gates judge per-file MEDIANS, not individual rows: on a
+    small host a single interleaved window still moves ±10%, and the
+    median across trackers/thread-counts is the statistic that cancels
+    it.  The durable-lag check is exact and stays per-row.
+    """
+    findings = []
+    on_off, aa, post_fresh = [], [], []
+    for r in rows:
+        mode = r.get("mode")
+        if mode == "obs_overhead":
+            on_off.append(r["on_off_ratio"])
+            aa.append(r["aa_ratio"])
+        elif mode == "resize":
+            if r.get("fresh_mops"):
+                post_fresh.append(r["post_mops"] / r["fresh_mops"])
+        elif mode == "persist":
+            if r.get("sync") == "always" and r.get("wal_durable_lag", 0) != 0:
+                findings.append(
+                    "%s %s t=%s sync=always: wal_durable_lag=%s (must be 0: "
+                    "every op returns only after its record is durable)"
+                    % (path, r.get("tracker", "?"), r.get("threads"),
+                       r["wal_durable_lag"]))
+    if on_off:
+        # Median on/off below the median A/A noise floor by more than the
+        # budget: the metrics probes cost real throughput.
+        gap = median(aa) - median(on_off)
+        if gap > threshold:
+            findings.append(
+                "%s: metrics overhead %.1f%% beyond noise floor "
+                "(median on/off=%.3f, median A/A floor=%.3f, budget=%.0f%%)"
+                % (path, gap * 100, median(on_off), median(aa),
+                   threshold * 100))
+    if post_fresh:
+        ratio = median(post_fresh)
+        if ratio < 1.0 - threshold:
+            findings.append(
+                "%s: post-resize tables %.1f%% slower than fresh tables of "
+                "the same shape (median post/fresh=%.3f)"
+                % (path, (1.0 - ratio) * 100, ratio))
+    return findings
+
+
+def pr_key(path):
+    m = re.search(r"pr(\d+)", path)
+    return (int(m.group(1)) if m else 0, path)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+")
+    ap.add_argument("--out", default="BENCH_trajectory.json")
+    ap.add_argument("--threshold", type=float, default=0.08)
+    ap.add_argument("--warn-only", action="store_true")
+    ap.add_argument("--no-trajectory", action="store_true")
+    args = ap.parse_args()
+
+    trajectory = []
+    findings = []
+    for path in sorted(args.files, key=pr_key):
+        meta, rows = load_rows(path)
+        trajectory.append(summarize(path, meta, rows))
+        findings.extend(check(path, rows, args.threshold))
+
+    if not args.no_trajectory:
+        with open(args.out, "w") as f:
+            json.dump({"threshold": args.threshold, "entries": trajectory},
+                      f, indent=1)
+            f.write("\n")
+        print("wrote %s (%d bench files)" % (args.out, len(trajectory)))
+
+    for t in trajectory:
+        line = "  %-22s" % t["file"]
+        for mode, s in t["modes"].items():
+            if "median_mops" in s and s["median_mops"] is not None:
+                line += " %s=%.2fMops" % (mode, s["median_mops"])
+            if "median_post_fresh_ratio" in s:
+                line += " post/fresh=%.3f" % s["median_post_fresh_ratio"]
+            if "median_on_off_ratio" in s:
+                line += " obs=%.3f(aa=%.3f)" % (s["median_on_off_ratio"],
+                                                s["median_aa_ratio"])
+        print(line)
+
+    if findings:
+        print("\n%d regression finding(s):" % len(findings))
+        for f in findings:
+            print("  REGRESSION: " + f)
+        if args.warn_only:
+            print("warn-only: not failing the build")
+            return 0
+        return 1
+    print("no regressions beyond threshold %.0f%%" % (args.threshold * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
