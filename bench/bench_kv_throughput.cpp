@@ -37,7 +37,21 @@
 //                          "mode":"persist" and the per-mode wal stats
 //   WFE_KV_PERSIST_DIR     scratch dir for the WAL sweep (default
 //                          "bench_wal", wiped per data point)
+//   WFE_KV_TXN             0 disables the transaction sweep (default 1)
+//   WFE_KV_TXN_WIDTH_LIST  comma list of txn widths      (default "2,8")
+//   WFE_KV_TXN_CONFLICT_LIST  comma list of conflict percents (default
+//                          "0,50"): chance each txn key is drawn from a
+//                          64-key hot set shared by all threads instead
+//                          of the full range
 //   WFE_KV_JSON            output path                   (default BENCH_kv.json)
+//
+// The transaction sweep ("mode":"txn" rows) drives multi-key
+// txn_commit batches — width keys per commit, mostly puts with a
+// sprinkle of removes — on a persistent 4-shard store, once per WAL
+// sync mode in the sync list (minus "none").  Under sync=always the
+// commit acks block until the COMMIT record is durable, so those rows'
+// commit_wait percentiles price the group-commit wait a caller pays
+// per transaction; batched rows measure the fire-and-forget path.
 //
 // The resize sweep measures the dip-and-recovery profile of one online
 // resize under load, per tracker and thread count: `pre` (steady state
@@ -79,6 +93,7 @@
 #include "reclaim/ibr.hpp"
 #include "reclaim/leak.hpp"
 #include "reclaim/qsbr.hpp"
+#include "txn/txn.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -133,8 +148,10 @@ struct Params {
   unsigned resize_from, resize_to;
   bool persist;
   bool sync_none, sync_batched, sync_always;
+  bool txn;
   std::string persist_dir;
   std::vector<unsigned> threads, shards, read_pcts, mbatch;
+  std::vector<unsigned> txn_widths, txn_conflicts;
 };
 
 /// Every scheme in the repo: the paper's comparison set plus the
@@ -387,6 +404,109 @@ void run_persist_one(const Params& pp, util::JsonWriter& j, unsigned nthreads,
   std::filesystem::remove_all(pp.persist_dir);
 }
 
+/// Transaction sweep: each harness op builds and commits one
+/// `width`-key transaction (7/8 puts, 1/8 removes) on a persistent
+/// 4-shard store.  `conflict_pct` is the chance a key comes from a
+/// 64-key hot set every thread shares — cross-thread collisions on the
+/// same value cells — instead of the full key range.  One row per
+/// (width, conflict, sync mode); see the file header for how the sync
+/// mode shapes the commit_wait columns.
+template <class TR>
+void run_txn_one(const Params& pp, util::JsonWriter& j, unsigned nthreads,
+                 unsigned width, unsigned conflict_pct, persist::SyncMode sync,
+                 const char* sync_name) {
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, TR>;
+  const unsigned nshards = 4;
+  std::filesystem::remove_all(pp.persist_dir);
+  kv::KvConfig cfg;
+  cfg.shards = nshards;
+  cfg.buckets_per_shard = std::max<std::size_t>(64, 4096 / nshards);
+  cfg.tracker.max_threads = nthreads;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  cfg.tracker.retire_batch = pp.retire_batch;
+  cfg.persistence.enabled = true;
+  cfg.persistence.dir = pp.persist_dir;
+  cfg.persistence.sync = sync;
+  cfg.metrics.enabled = true;
+  cfg.metrics.sampler = false;
+  {
+    Store store(cfg);
+    const std::uint64_t prefill = std::min(pp.prefill, pp.key_range);
+    util::Xoshiro256 seed_rng(42);
+    std::uint64_t inserted = 0;
+    while (inserted < prefill)
+      inserted +=
+          store.insert(seed_rng.next_bounded(pp.key_range) + 1, inserted, 0)
+              ? 1
+              : 0;
+
+    harness::RunConfig rc;
+    rc.threads = nthreads;
+    rc.seconds = pp.seconds;
+    rc.repeats = pp.repeats;
+    harness::RunResult r = harness::run_timed(
+        rc,
+        [&](util::Xoshiro256& rng, unsigned tid) {
+          static thread_local txn::Txn<std::uint64_t, std::uint64_t> t;
+          t.clear();
+          for (unsigned i = 0; i < width; ++i) {
+            const std::uint64_t k =
+                rng.percent(conflict_pct)
+                    ? rng.next_bounded(64) + 1
+                    : rng.next_bounded(pp.key_range) + 1;
+            if (rng.percent(12))
+              t.remove(k);
+            else
+              t.put(k, k);
+          }
+          store.txn_commit(t, tid);
+        },
+        [&] {
+          std::uint64_t u = 0;
+          const kv::KvStats st = store.stats();
+          for (const auto& s : st.shards) u += s.unreclaimed + s.pending_retired;
+          return u;
+        });
+
+    // run_timed counts commits; key-ops scale with the width.
+    const double commit_mops = r.mops;
+    const double key_mops = r.mops * width;
+
+    const kv::KvStats st = store.stats();
+    const kv::ShardStats tot = st.total();
+    std::printf(
+        "%-8s TXN     sync=%-7s threads=%-3u width=%-2u conflict=%u%%  "
+        "%8.3f Mcommits/s (%8.3f Mkeyops/s)  wal_lag(max)=%llu\n",
+        TR::name(), sync_name, nthreads, width, conflict_pct, commit_mops,
+        key_mops, static_cast<unsigned long long>(tot.wal_durable_lag));
+
+    j.begin_object();
+    j.kv("tracker", TR::name());
+    j.kv("mode", "txn");
+    j.kv("sync", sync_name);
+    j.kv("threads", nthreads);
+    j.kv("txn_width", width);
+    j.kv("conflict_pct", conflict_pct);
+    j.kv("shards", static_cast<std::uint64_t>(store.shard_count()));
+    j.kv("retire_batch", pp.retire_batch);
+    j.kv("mops", commit_mops);
+    j.kv("mops_stddev", r.mops_stddev);
+    j.kv("key_mops", key_mops);
+    j.kv("avg_unreclaimed", r.avg_unreclaimed);
+    j.kv("txn_commits", st.txn_commits);
+    j.kv("txn_ops", tot.txn_ops);
+    j.kv("wal_durable_lag", tot.wal_durable_lag);
+    j.kv("wal_fsyncs", tot.wal_fsyncs);
+    const obs::RegistrySnapshot snap = store.metrics()->registry.snapshot();
+    // txn_commit records end-to-end into the multi-op histogram.
+    emit_latency_cols(j, snap, "kv_op_multi_ns", "commit");
+    emit_latency_cols(j, snap, "kv_wal_commit_wait_ns", "commit_wait");
+    emit_latency_cols(j, snap, "kv_wal_fsync_ns", "fsync");
+    j.end_object();
+  }
+  std::filesystem::remove_all(pp.persist_dir);
+}
+
 /// Metrics-overhead probe: the 50%-update mix on identical stores with
 /// metrics off vs on (all eight probes live: op histograms, trace ring,
 /// WFE slow-path hook), same thread count and shard layout.  Emits a
@@ -632,6 +752,20 @@ void run_tracker(const Params& pp, util::JsonWriter& j) {
                             "always");
     }
   }
+  if (pp.txn) {
+    for (unsigned nthreads : pp.threads) {
+      for (unsigned w : pp.txn_widths) {
+        for (unsigned c : pp.txn_conflicts) {
+          if (pp.sync_batched)
+            run_txn_one<TR>(pp, j, nthreads, w, c,
+                            persist::SyncMode::kBatched, "batched");
+          if (pp.sync_always)
+            run_txn_one<TR>(pp, j, nthreads, w, c, persist::SyncMode::kAlways,
+                            "always");
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -662,6 +796,9 @@ int main() {
   pp.sync_none = env_has_word("WFE_KV_SYNC_LIST", "none");
   pp.sync_batched = env_has_word("WFE_KV_SYNC_LIST", "batched");
   pp.sync_always = env_has_word("WFE_KV_SYNC_LIST", "always");
+  pp.txn = harness::env_long("WFE_KV_TXN", 1) != 0;
+  pp.txn_widths = env_list("WFE_KV_TXN_WIDTH_LIST", {2, 8});
+  pp.txn_conflicts = env_list("WFE_KV_TXN_CONFLICT_LIST", {0, 50});
   const char* pdir = std::getenv("WFE_KV_PERSIST_DIR");
   pp.persist_dir = pdir == nullptr ? "bench_wal" : pdir;
   const char* out_path = std::getenv("WFE_KV_JSON");

@@ -97,6 +97,10 @@ class BucketArray {
   bool try_remove(const K& key, unsigned tid, std::optional<V>& out) {
     return bucket(key).try_remove(key, tid, out);
   }
+  bool try_cas(const K& key, const V& expected, const V& desired, unsigned tid,
+               bool& swapped) {
+    return bucket(key).try_cas(key, expected, desired, tid, swapped);
+  }
 
   // ---- unbracketed variants: caller holds one begin_op/end_op bracket
   // on the shared tracker around a batch of calls (kv multi-ops).  All
@@ -110,6 +114,10 @@ class BucketArray {
   }
   bool try_remove_in_op(const K& key, unsigned tid, std::optional<V>& out) {
     return bucket(key).try_remove_in_op(key, tid, out);
+  }
+  bool try_cas_in_op(const K& key, const V& expected, const V& desired,
+                     unsigned tid, bool& swapped) {
+    return bucket(key).try_cas_in_op(key, expected, desired, tid, swapped);
   }
 
   // ---- migration primitives, by bucket index (kv resharding; freeze

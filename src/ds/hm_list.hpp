@@ -239,6 +239,13 @@ class HmList {
     tracker_.end_op(tid);
     return done;
   }
+  bool try_cas(const K& key, const V& expected, const V& desired, unsigned tid,
+               bool& swapped) {
+    tracker_.begin_op(tid);
+    const bool done = cas_impl(key, expected, desired, tid, swapped);
+    tracker_.end_op(tid);
+    return done;
+  }
 
   // ---- unbracketed variants: the caller holds the tracker's
   // begin_op/end_op bracket around a batch of calls (kv multi-ops).
@@ -254,6 +261,10 @@ class HmList {
   }
   bool try_remove_in_op(const K& key, unsigned tid, std::optional<V>& out) {
     return remove_impl(key, tid, out);
+  }
+  bool try_cas_in_op(const K& key, const V& expected, const V& desired,
+                     unsigned tid, bool& swapped) {
+    return cas_impl(key, expected, desired, tid, swapped);
   }
 
   /// Concurrency-SAFE iteration over present (key, value) pairs, for
@@ -689,6 +700,63 @@ class HmList {
           return true;
         }
       }
+    }
+  }
+
+  /// Conditional in-place replace: installs `desired` iff the key is
+  /// present with value == `expected`.  Every failure mode — absent key,
+  /// tombstone, value mismatch — makes NO state change: the speculative
+  /// cell is dealloc'd (never published) and no existing cell is
+  /// retired, so a lost single-key cas costs two allocator round-trips
+  /// and nothing else (the block-balance identity the tests assert is
+  /// undisturbed: dealloc counts as freed).  Reading the current value
+  /// means dereferencing a cell this thread does not own, so the cell
+  /// word is protected exactly as in get_impl; when the install CAS
+  /// then loses a race, the reloaded word names a cell the protection
+  /// does NOT cover — the loop restarts from find() to re-protect
+  /// rather than touching it.
+  bool cas_impl(const K& key, const V& expected, const V& desired, unsigned tid,
+                bool& swapped) {
+    ValueCell* cell = tracker_.template alloc<ValueCell>(tid, desired);
+    for (;;) {
+      Position pos = find(key, tid);
+      if (pos.frozen) {
+        tracker_.dealloc(cell, tid);  // never published
+        return false;
+      }
+      if (!pos.found) {
+        tracker_.dealloc(cell, tid);
+        swapped = false;
+        return true;
+      }
+      const std::uintptr_t cw =
+          tracker_.protect_word(pos.cur->cell, kCellSlot, tid, pos.cur);
+      if (util::is_frozen(cw)) {
+        tracker_.dealloc(cell, tid);
+        return false;
+      }
+      if (util::is_marked(cw)) {
+        // Tombstone: the key was absent when we observed the mark.
+        finish_remove(pos.cur);
+        tracker_.dealloc(cell, tid);
+        swapped = false;
+        return true;
+      }
+      if (!(util::unpack_ptr<ValueCell>(cw)->value == expected)) {
+        tracker_.dealloc(cell, tid);
+        swapped = false;
+        return true;
+      }
+      std::uintptr_t want = cw;
+      if (pos.cur->cell.compare_exchange_strong(want, util::pack_ptr(cell),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
+        tracker_.retire(util::unpack_ptr<ValueCell>(cw), tid);
+        swapped = true;
+        return true;
+      }
+      // Lost the install race: restart from find() (see the header note
+      // above — the reloaded word is unprotected).
     }
   }
 

@@ -87,6 +87,26 @@
 // consistent), after which whole superseded segments and epochs are
 // truncated.  The null backend (enabled = false, the default) leaves
 // every hot path exactly one untaken branch away from the PR 3 code.
+//
+// === Transactions (src/txn/) ===
+//
+// txn_commit(txn, tid) applies a client-buffered multi-key write batch
+// atomically WITH RESPECT TO CRASHES: effects install per key through
+// the ordinary value-cell CAS paths (one tracker session per shard
+// group, multi_put's counting-sort shape), each effect appends an
+// INTENT pair (TXN_INTENT + TXN_DATA, reserved as one atomic LSN pair)
+// to its shard's stream, and one TXN_COMMIT record carrying the pair
+// count lands on the final table's stream 0.  Recovery is a pure fold:
+// a transaction's pairs apply iff its commit record is durable AND
+// every declared pair is readable (persist/recovery.hpp) — so a crash
+// anywhere inside the protocol yields all of the batch or none of it.
+// Concurrent READERS do observe effects as they install (this is crash
+// atomicity, not isolation).  Commits hold txn_mu_ shared; snapshots
+// take it exclusive around the mark+dump window, because a fuzzy dump
+// that captured SOME of a not-yet-durable transaction's installs could
+// never be undone by a redo-only log.  cas() and incr() are the
+// degenerate single-key transactions: one record is already atomic on
+// its stream, so they ride the plain PUT path.
 
 #include <algorithm>
 #include <cassert>
@@ -98,6 +118,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -111,6 +132,7 @@
 #include "persist/recovery.hpp"
 #include "persist/snapshot.hpp"
 #include "reclaim/tracker.hpp"
+#include "txn/txn.hpp"
 #include "util/backoff.hpp"
 #include "util/stats.hpp"
 
@@ -481,6 +503,130 @@ class KvStore {
     return out;
   }
 
+  // ---- cross-shard atomic transactions (src/txn/; file header) ----
+
+  /// Applies every write buffered in `txn` as one crash-atomic unit and
+  /// returns the transaction id (0 for an empty buffer).  Effects become
+  /// visible to concurrent readers per key as they install — atomicity
+  /// here is against CRASHES (recovery installs all of the batch or none
+  /// of it), not reader isolation.  Duplicate keys were already folded
+  /// to their final state by the Txn builder, so one intent pair per
+  /// effect keeps the commit record's pair count exact.  With
+  /// persistence in kAlways mode the return waits until every intent
+  /// pair AND the commit record are durable — a durable commit whose
+  /// pairs tore off would be dropped at recovery, so acking the commit
+  /// alone would be a lie.
+  std::uint64_t txn_commit(const txn::Txn<K, V>& txn, unsigned tid) {
+    const auto& tops = txn.ops();
+    if (tops.empty()) return 0;
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    const std::uint64_t id = 1 + txn_seq_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t total_pairs = 0;
+    std::size_t inserted = 0, removed = 0;
+    std::uint64_t commit_lsn = 0;
+    persist::ShardWal* commit_wal = nullptr;
+    // (wal, last pair LSN) per shard touched: the commit-time ack set.
+    static thread_local std::vector<
+        std::pair<persist::ShardWal*, std::uint64_t>> acks;
+    acks.clear();
+    {
+      TableGuard g(*this, tid);
+      {
+        // Shared against the snapshot's exclusive mark+dump window (see
+        // the file header): released before the durability waits below —
+        // appends are what the barrier orders, not fsyncs.
+        std::shared_lock<std::shared_mutex> sl(txn_mu_);
+        Table* t = g.table;
+        static thread_local ShardPlan plan;  // scratch: reused across calls
+        static thread_local std::vector<std::uint32_t> pend, defer;
+        pend.resize(tops.size());
+        for (std::size_t i = 0; i < tops.size(); ++i)
+          pend[i] = static_cast<std::uint32_t>(i);
+        for (;;) {
+          group_subset(plan, *t, pend, [&](std::uint32_t i) {
+            return shard_index_in(*t, tops[i].key);
+          });
+          defer.clear();
+          for (std::size_t s = 0; s <= t->mask; ++s) {
+            const std::size_t b = s == 0 ? 0 : plan.start[s - 1],
+                              e = plan.start[s];
+            if (b == e) continue;
+            const auto r = t->shards[s]->txn_apply(
+                tops.data(), plan.order.data() + b, e - b, id, tid, defer);
+            total_pairs += r.pairs;
+            inserted += r.inserted;
+            removed += r.removed;
+            if (r.last_lsn != 0)
+              acks.emplace_back(t->shards[s]->wal(), r.last_lsn);
+          }
+          if (defer.empty()) break;
+          t = wait_forward_all(
+              *t, /*key_of=*/[&](std::uint32_t i) -> const K& {
+                return tops[i].key;
+              },
+              defer, tid);
+          pend.swap(defer);
+        }
+        // COMMIT on the final table's stream 0 (the same stream the
+        // resize brackets use): recovery scans every stream, so "which
+        // one" only has to be deterministic per table, not per key.
+        if (!t->wals.empty()) {
+          commit_wal = t->wals[0].get();
+          commit_lsn = commit_wal->append(persist::RecordType::kTxnCommit, id,
+                                          total_pairs);
+        }
+      }
+      // Durability acks under the table announcement (the streams live in
+      // tables the guard keeps alive) but outside txn_mu_.
+      for (const auto& [w, lsn] : acks) w->ack(lsn);
+      if (commit_wal != nullptr) commit_wal->ack(commit_lsn);
+    }
+    counters_.inc(kNetInserts, tid, inserted);
+    counters_.inc(kNetRemoves, tid, removed);
+    counters_.inc(kTxnCommits, tid);
+    maybe_auto_grow(tid);
+    maybe_auto_snapshot(tid);
+    if (metrics_ && mt0 != 0)
+      record_op(obs::OpKind::kMultiPut, metrics_->op_multi, mt0, tid,
+                tops[0].key);
+    return id;
+  }
+
+  /// Single-key compare-and-swap, the degenerate transaction: installs
+  /// `desired` iff the key is present with value == `expected`.  True on
+  /// swap; false (and NO write, NO cell retired) on absent key or value
+  /// mismatch.
+  bool cas(const K& key, const V& expected, const V& desired, unsigned tid) {
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    bool swapped = false;
+    {
+      TableGuard g(*this, tid);
+      Table* t = g.table;
+      while (!shard_in(*t, key).try_cas(key, expected, desired, tid, swapped))
+        t = wait_forward(*t, key, tid);
+    }
+    maybe_auto_snapshot(tid);  // a swap appends WAL bytes
+    if (metrics_ && mt0 != 0)
+      record_op(obs::OpKind::kUpdate, metrics_->op_update, mt0, tid, key);
+    return swapped;
+  }
+
+  /// Atomic read-modify-write counter bump built on cas(): creates the
+  /// key at `delta` when absent, otherwise retries get+cas until one
+  /// publishes.  Returns the value this call installed.
+  V incr(const K& key, V delta, unsigned tid) {
+    for (;;) {
+      const std::optional<V> cur = get(key, tid);
+      if (!cur.has_value()) {
+        if (insert(key, delta, tid)) return delta;
+        continue;  // lost the creation race: reload and add
+      }
+      const V next = static_cast<V>(*cur + delta);
+      if (cas(key, *cur, next, tid)) return next;
+      // Value moved (or the key vanished) between get and cas: retry.
+    }
+  }
+
   // ---- online resharding ----
 
   /// Migrates every key into a fresh table of `new_shards` (rounded up
@@ -652,6 +798,7 @@ class KvStore {
     st.help_conflicts = counters_.sum(kHelpConflicts);
     st.persist_enabled = cfg_.persistence.enabled;
     st.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
+    st.txn_commits = counters_.sum(kTxnCommits);
     return st;
   }
 
@@ -830,6 +977,9 @@ class KvStore {
     g("kv_resize_epochs_total", st.resize_epochs);
     g("kv_migrated_keys_total", st.migrated_keys);
     g("kv_snapshots_written_total", st.snapshots_written);
+    g("kv_cas_ops_total", t.cas_ops);
+    g("kv_txn_ops_total", t.txn_ops);
+    g("kv_txn_commits_total", st.txn_commits);
     g("kv_approx_size", approx_size());
   }
 
@@ -1140,9 +1290,14 @@ class KvStore {
     tables_.push_back(make_table(shards0, epoch0, /*wals=*/false));
     table_.store(tables_.back().get(), std::memory_order_release);
     epoch_.store(epoch0, std::memory_order_release);
+    // Transaction id resolution before replay: committed ids gate their
+    // intent pairs, and the id counter restarts PAST every id ever seen
+    // so a fresh commit can never adopt an old crash's orphan intents.
+    const persist::TxnResolution txns = persist::resolve_txns(plan);
+    txn_seq_.store(txns.max_txn_id, std::memory_order_relaxed);
     replaying_ = true;
     persist::replay(
-        plan,
+        plan, txns,
         [&](std::uint64_t k, std::uint64_t v) {
           put(persist::decode<K>(k), persist::decode<V>(v), 0);
         },
@@ -1168,6 +1323,12 @@ class KvStore {
   bool snapshot_locked(unsigned tid) {
     Table* t = table_.load(std::memory_order_acquire);
     if (t->wals.empty()) return false;
+    // Transaction barrier (file header): no multi-key commit may
+    // straddle the mark+dump window.  A fuzzy dump that caught SOME of
+    // a not-yet-durable transaction's installs could never be undone by
+    // the redo-only log; held exclusive through truncation so intent
+    // pairs also never straddle a rotation boundary.
+    std::unique_lock<std::shared_mutex> txn_barrier(txn_mu_);
     persist::SnapshotImage img;
     img.id = snap_seq_ + 1;
     img.epoch = t->epoch;
@@ -1249,6 +1410,7 @@ class KvStore {
 
   enum Lane : unsigned {
     kForwarded, kNetInserts, kNetRemoves, kHelpedBuckets, kHelpConflicts,
+    kTxnCommits,
     kLanes
   };
   util::PerThreadCounters<kLanes> counters_;
@@ -1263,6 +1425,16 @@ class KvStore {
   std::atomic<std::uint64_t> snapshots_written_{0};
   std::uint64_t snap_seq_ = 0;  ///< last snapshot id (resize_mu_ / ctor)
   std::atomic<std::uint64_t> snap_bytes_floor_{0};
+
+  // ---- transaction state (src/txn/; see the file header) ----
+  /// Commits shared, snapshot mark+dump exclusive.  Lock order where
+  /// both are held: resize_mu_ then txn_mu_ (snapshot_locked); commits
+  /// never take resize_mu_.
+  std::shared_mutex txn_mu_;
+  /// Last transaction id handed out; seeded past recovery's max id so
+  /// orphan intents from a previous crash can never match a fresh
+  /// commit (open_persistent).
+  std::atomic<std::uint64_t> txn_seq_{0};
   /// Constructor-only: recovery replay runs through the normal op entry
   /// points, which must not auto-grow or auto-snapshot mid-replay.
   bool replaying_ = false;

@@ -179,6 +179,22 @@ class Shard {
     if (out.has_value()) log_remove(key);
     return true;
   }
+  /// Conditional replace (degenerate single-key transaction): installs
+  /// `desired` iff the key is present with value == `expected`.  A
+  /// success is one atomic cell swap and logs one plain PUT — a
+  /// single record is already atomic on its stream, so the cas needs
+  /// none of the INTENT/COMMIT machinery.  Failure writes nothing and
+  /// retires nothing.
+  bool try_cas(const K& key, const V& expected, const V& desired, unsigned tid,
+               bool& swapped) {
+    if (!map_.try_cas(key, expected, desired, tid, swapped)) return false;
+    ops_.inc(kCas, tid);
+    if (swapped) {
+      ops_.inc(kCellRetire, tid);
+      log_put(key, desired);
+    }
+    return true;
+  }
 
   // ---- shard-local halves of the store's cross-shard multi-ops: the
   // caller hands this shard its slice of the batch (positions `idx` into
@@ -261,6 +277,68 @@ class Shard {
     ops_.inc(kRemove, tid, done);
     ops_.inc(kBatched, tid, done);
     return removed;
+  }
+
+  /// Transactional install for this shard's slice (store txn_commit):
+  /// one tracker session over the group, every effect installed via the
+  /// bucket's value-cell CAS, and one INTENT pair appended per buffered
+  /// op — including a remove that found the key already absent.  The
+  /// commit's promise is "this key is gone", and recovery may fold the
+  /// txn over a stream prefix where an earlier put survived a singleton
+  /// remove that the crash rewound; only an unconditional remove pair
+  /// re-erases the key there (replaying it over an absent key is a
+  /// no-op, so logging it costs nothing but the record).  `Op`
+  /// is any type with .key/.value/.is_remove (txn::TxnOp) — a template
+  /// so this header stays independent of src/txn/.  `last_lsn` reports
+  /// the newest pair's durability point for the store's commit-time
+  /// ack; `deferred` collects frozen-bucket positions for re-dispatch
+  /// exactly like multi_put.
+  struct TxnSlice {
+    std::size_t pairs = 0;     ///< intent pairs appended (= effects)
+    std::size_t inserted = 0;  ///< upserts that found the key absent
+    std::size_t removed = 0;   ///< removes that found the key present
+    std::uint64_t last_lsn = 0;  ///< newest pair's payload LSN (ack point)
+  };
+
+  template <class Op>
+  TxnSlice txn_apply(const Op* ops, const std::uint32_t* idx, std::size_t n,
+                     std::uint64_t txn_id, unsigned tid,
+                     std::vector<std::uint32_t>& deferred) {
+    TxnSlice r;
+    std::size_t done = 0, replaced = 0;
+    batched_.begin_op(tid);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Op& op = ops[idx[i]];
+      if (op.is_remove) {
+        std::optional<V> v;
+        if (!map_.try_remove_in_op(op.key, tid, v)) {
+          deferred.push_back(idx[i]);
+          continue;
+        }
+        ++done;
+        if (v.has_value()) ++r.removed;
+        r.last_lsn = log_txn_pair(txn_id, /*is_remove=*/true, op.key, V{});
+        ++r.pairs;
+      } else {
+        bool was_absent = false;
+        if (!map_.try_put_in_op(op.key, op.value, tid, was_absent)) {
+          deferred.push_back(idx[i]);
+          continue;
+        }
+        ++done;
+        if (was_absent)
+          ++r.inserted;
+        else
+          ++replaced;
+        r.last_lsn = log_txn_pair(txn_id, /*is_remove=*/false, op.key, op.value);
+        ++r.pairs;
+      }
+    }
+    batched_.end_op(tid);
+    ops_.inc(kTxnOps, tid, done);
+    ops_.inc(kBatched, tid, done);
+    ops_.inc(kCellRetire, tid, replaced);
+    return r;
   }
 
   // ---- migration halves (kv resharding) ----
@@ -352,6 +430,8 @@ class Shard {
     s.value_cell_retires = ops_.sum(kCellRetire);
     s.batched_ops = ops_.sum(kBatched);
     s.migrated_in = ops_.sum(kMigratedIn);
+    s.cas_ops = ops_.sum(kCas);
+    s.txn_ops = ops_.sum(kTxnOps);
     if (wal_ != nullptr) {
       s.wal_appended_lsn = wal_->appended_lsn();
       s.wal_durable_lsn = wal_->durable_lsn();
@@ -367,7 +447,8 @@ class Shard {
 
  private:
   enum OpLane : unsigned {
-    kGet, kPut, kRemove, kUpdate, kCellRetire, kBatched, kMigratedIn, kLanes
+    kGet, kPut, kRemove, kUpdate, kCellRetire, kBatched, kMigratedIn,
+    kCas, kTxnOps, kLanes
   };
 
   /// One record per completed mutation, appended AFTER the memory
@@ -410,6 +491,22 @@ class Shard {
   }
   void ack_log(std::uint64_t lsn) {
     if (wal_ != nullptr) wal_->ack(lsn);
+  }
+
+  /// One INTENT pair (atomically reserved: the TXN_DATA payload sits at
+  /// exactly the intent's lsn + 1) appended AFTER the memory install,
+  /// like every other record.  Returns the pair's second LSN.
+  std::uint64_t log_txn_pair(std::uint64_t txn_id, bool is_remove,
+                             const K& key, const V& value) {
+    if constexpr (persist::wal_encodable<K> && persist::wal_encodable<V>) {
+      if (wal_ != nullptr)
+        return wal_->append2(
+            persist::RecordType::kTxnIntent, txn_id,
+            is_remove ? persist::kTxnFlagRemove : 0,
+            persist::RecordType::kTxnData, persist::encode(key),
+            is_remove ? 0 : persist::encode(value));
+    }
+    return 0;
   }
 
   Tracker tracker_;  ///< the shard's reclamation domain

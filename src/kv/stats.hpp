@@ -45,6 +45,12 @@ struct ShardStats {
   /// Keys copied INTO this shard by a resize migration (allocated in
   /// this shard's domain; not user puts).
   std::uint64_t migrated_in = 0;
+  /// Single-key compare-and-swap calls resolved in this shard (both
+  /// swapped and expectation-mismatch outcomes).
+  std::uint64_t cas_ops = 0;
+  /// Per-key effects installed here by multi-key transaction commits
+  /// (KvStore::txn_commit slices; also counted in batched_ops).
+  std::uint64_t txn_ops = 0;
 
   // ---- durability (0 when persistence is disabled) ----
   std::uint64_t wal_appended_lsn = 0;  ///< last LSN reserved on the stream
@@ -103,6 +109,9 @@ struct KvStats {
   bool persist_enabled = false;
   std::uint64_t snapshots_written = 0;  ///< compactions since open
 
+  // ---- transactions (src/txn/) ----
+  std::uint64_t txn_commits = 0;  ///< multi-key commits completed
+
   ShardStats total() const noexcept {
     ShardStats t;
     for (const ShardStats& s : shards) {
@@ -121,6 +130,8 @@ struct KvStats {
       t.value_cell_retires += s.value_cell_retires;
       t.batched_ops += s.batched_ops;
       t.migrated_in += s.migrated_in;
+      t.cas_ops += s.cas_ops;
+      t.txn_ops += s.txn_ops;
       if (s.wal_durable_lag > t.wal_durable_lag)
         t.wal_durable_lag = s.wal_durable_lag;
       t.wal_fsyncs += s.wal_fsyncs;
@@ -149,6 +160,8 @@ inline void to_json(util::JsonWriter& j, const ShardStats& s) {
   j.kv("value_cell_retires", s.value_cell_retires);
   j.kv("batched_ops", s.batched_ops);
   j.kv("migrated_in", s.migrated_in);
+  j.kv("cas_ops", s.cas_ops);
+  j.kv("txn_ops", s.txn_ops);
   j.kv("wal_appended_lsn", s.wal_appended_lsn);
   j.kv("wal_durable_lsn", s.wal_durable_lsn);
   j.kv("wal_durable_lag", s.wal_durable_lag);

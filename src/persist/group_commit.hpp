@@ -155,6 +155,38 @@ class ShardWal {
     return lsn;
   }
 
+  /// Atomically reserves TWO consecutive LSNs and appends both records
+  /// (fire-and-forget).  Because the reservation is one fetch_add, no
+  /// concurrent append can land between the pair — this is the intent
+  /// pair contract the txn layer builds on (wal.hpp: a TXN_DATA record
+  /// always sits at exactly its TXN_INTENT's lsn + 1).  Returns the
+  /// SECOND record's LSN (the pair's durability point).
+  std::uint64_t append2(RecordType t1, std::uint64_t k1, std::uint64_t v1,
+                        RecordType t2, std::uint64_t k2, std::uint64_t v2) {
+    assert(!crashed_.load(std::memory_order_relaxed));
+    const std::uint64_t lsn2 =
+        reserved_.fetch_add(2, std::memory_order_acq_rel) + 2;
+    while (lsn2 - consumed_pub_.load(std::memory_order_acquire) > cap_) {
+      if (commit_wait_hist_ != nullptr)
+        obs::tls_cause = obs::TraceCause::kWalBackpressure;
+      std::this_thread::yield();
+    }
+    Slot& a = ring_[(lsn2 - 2) & (cap_ - 1)];
+    a.type = t1;
+    a.key = k1;
+    a.value = v1;
+    Slot& b = ring_[(lsn2 - 1) & (cap_ - 1)];
+    b.type = t2;
+    b.key = k2;
+    b.value = v2;
+    // Publish order between the two slots is irrelevant: the flusher
+    // only consumes the contiguous published prefix, so it waits for
+    // both before writing either.
+    a.seq.store(lsn2 - 1, std::memory_order_release);
+    b.seq.store(lsn2, std::memory_order_release);
+    return lsn2;
+  }
+
   /// Last reserved LSN (appenders may still be publishing it): the
   /// conservative stamp the retire gate uses.
   std::uint64_t appended_lsn() const noexcept {

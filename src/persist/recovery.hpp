@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <sys/stat.h>
@@ -104,11 +105,67 @@ inline RecoveryPlan plan_recovery(const std::string& dir) {
   return plan;
 }
 
+/// Transaction id resolution — the "two-pass" half of txn recovery.
+/// Pass 1 (this scan) decides, per txn id, whether the transaction's
+/// effects are installed at all; pass 2 (replay below) applies them.
+/// A transaction is COMMITTED iff its TXN_COMMIT record survived AND
+/// every one of its declared intent pairs is readable: the commit
+/// record carries the pair count precisely so the two facts can be
+/// checked independently per stream — commit-time never orders intent
+/// durability before the commit append, so a crash can persist the
+/// commit while losing a tail intent pair, and that txn must NOT be
+/// half-installed.  Conversely orphan pairs (commit lost) are dropped.
+struct TxnResolution {
+  std::unordered_map<std::uint64_t, std::uint64_t> commit_count;
+  std::unordered_map<std::uint64_t, std::uint64_t> pairs_found;
+  /// Largest txn id seen anywhere (committed or orphaned): the store
+  /// seeds its txn-id counter PAST this so a fresh txn can never adopt
+  /// an old crash's orphan intents as its own.
+  std::uint64_t max_txn_id = 0;
+
+  bool committed(std::uint64_t id) const {
+    const auto c = commit_count.find(id);
+    if (c == commit_count.end()) return false;
+    const auto f = pairs_found.find(id);
+    const std::uint64_t found = f == pairs_found.end() ? 0 : f->second;
+    return found >= c->second;
+  }
+};
+
+inline TxnResolution resolve_txns(const RecoveryPlan& plan) {
+  TxnResolution res;
+  for (const StreamFiles& sf : plan.streams) {
+    const std::vector<Record> recs = read_stream(sf);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      const Record& r = recs[i];
+      if (r.type == RecordType::kTxnIntent) {
+        res.max_txn_id = std::max(res.max_txn_id, r.key);
+        // A pair is complete only when the payload record at lsn+1 made
+        // it to disk too (append2 reserves both at once, so the next
+        // stream record IS the payload unless the tail tore between).
+        if (i + 1 < recs.size() && recs[i + 1].type == RecordType::kTxnData)
+          ++res.pairs_found[r.key];
+      } else if (r.type == RecordType::kTxnCommit) {
+        res.max_txn_id = std::max(res.max_txn_id, r.key);
+        res.commit_count[r.key] = r.value;
+      }
+    }
+  }
+  return res;
+}
+
 /// Applies the plan: snapshot pairs first, then WAL tails in ascending
 /// epoch order.  `put(key, value)` and `remove(key)` receive raw u64s;
-/// the kv layer decodes them.
+/// the kv layer decodes them.  Intent pairs apply iff `txns` resolved
+/// their id as committed; a pair at or below the snapshot mark is
+/// skipped like any covered record (pairs never straddle the mark: the
+/// mark is a record with its own LSN, and the pair's two LSNs are
+/// consecutive, so either both or neither are covered — and if ANY of a
+/// txn's records is covered, the fuzzy dump started after every one of
+/// its installs and already holds the whole transaction).
 template <class PutFn, class RemoveFn>
-void replay(const RecoveryPlan& plan, PutFn&& put, RemoveFn&& remove) {
+void replay(const RecoveryPlan& plan, const TxnResolution& txns, PutFn&& put,
+            RemoveFn&& remove) {
   if (plan.snapshot_valid)
     for (const auto& [k, v] : plan.snapshot.pairs) put(k, v);
   for (const StreamFiles& sf : plan.streams) {
@@ -118,15 +175,39 @@ void replay(const RecoveryPlan& plan, PutFn&& put, RemoveFn&& remove) {
         snap_epoch && sf.shard < plan.snapshot.marks.size()
             ? plan.snapshot.marks[sf.shard]
             : 0;
-    for (const Record& r : read_stream(sf)) {
+    const std::vector<Record> recs = read_stream(sf);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      const Record& r = recs[i];
+      if (r.type == RecordType::kTxnIntent) {
+        if (i + 1 < recs.size() && recs[i + 1].type == RecordType::kTxnData) {
+          const Record& d = recs[i + 1];
+          if (d.lsn > mark && txns.committed(r.key)) {
+            if ((r.value & kTxnFlagRemove) != 0)
+              remove(d.key);
+            else
+              put(d.key, d.value);
+          }
+          ++i;  // the payload record is consumed with its intent
+        }
+        continue;  // incomplete pair (torn tail): no effect
+      }
       if (r.lsn <= mark) continue;  // covered by the snapshot dump
       if (r.type == RecordType::kPut)
         put(r.key, r.value);
       else if (r.type == RecordType::kRemove)
         remove(r.key);
-      // Control records (RESIZE_*, SNAPSHOT_MARK) carry no data.
+      // Control records (RESIZE_*, SNAPSHOT_MARK) carry no data, and a
+      // TXN_DATA not preceded by its intent is unreachable by
+      // construction (append2) — skipped defensively either way.
     }
   }
+}
+
+/// Convenience overload for txn-free callers: resolves ids internally.
+template <class PutFn, class RemoveFn>
+void replay(const RecoveryPlan& plan, PutFn&& put, RemoveFn&& remove) {
+  replay(plan, resolve_txns(plan), std::forward<PutFn>(put),
+         std::forward<RemoveFn>(remove));
 }
 
 /// Post-snapshot truncation of fully superseded files: every stream of

@@ -34,6 +34,15 @@
 // RESIZE_* records pack (from_shards << 32 | to_shards) into `key` and
 // the new table epoch into `value`; SNAPSHOT_MARK carries the snapshot
 // id in `key` and the table epoch in `value`.
+//
+// Transaction records (src/txn/): a TXN_INTENT carries the txn id in
+// `key` and op flags (bit 0: is_remove) in `value`; the payload rides
+// in a TXN_DATA record at exactly lsn+1 on the same stream (the pair is
+// reserved atomically, so no foreign record can land between them — a
+// pair whose second half is missing or torn is incomplete and carries
+// no effect).  TXN_COMMIT carries the txn id in `key` and the intent
+// count in `value`; recovery installs a transaction iff its commit is
+// durable AND all `count` intent pairs are readable (recovery.hpp).
 
 #include <algorithm>
 #include <cstdint>
@@ -56,7 +65,13 @@ enum class RecordType : std::uint8_t {
   kResizeBegin = 3,
   kResizeEnd = 4,
   kSnapshotMark = 5,
+  kTxnIntent = 6,  ///< key = txn id, value = op flags (kTxnFlagRemove)
+  kTxnData = 7,    ///< the intent's payload, always at intent lsn + 1
+  kTxnCommit = 8,  ///< key = txn id, value = intent-pair count
 };
+
+/// TXN_INTENT `value` flag bits.
+inline constexpr std::uint64_t kTxnFlagRemove = 1ull << 0;
 
 inline constexpr std::size_t kRecordSize = 32;
 
@@ -140,7 +155,7 @@ inline bool decode_record(const unsigned char in[kRecordSize], Record& r) noexce
   if (crc != util::crc32c(in + 4, kRecordSize - 4)) return false;
   const unsigned char t = in[4];
   if (t < static_cast<unsigned char>(RecordType::kPut) ||
-      t > static_cast<unsigned char>(RecordType::kSnapshotMark))
+      t > static_cast<unsigned char>(RecordType::kTxnCommit))
     return false;
   r.type = static_cast<RecordType>(t);
   std::memcpy(&r.lsn, in + 8, 8);

@@ -1,0 +1,72 @@
+#pragma once
+// Client-side transaction builder for the kv layer's multi-key atomic
+// commit (KvStore::txn_commit).
+//
+// A Txn is a WRITE BUFFER, not a lock scope: ops accumulate here with
+// no store interaction at all (last write per key wins), and the whole
+// batch becomes atomic only inside txn_commit.  The commit protocol —
+// per-shard INTENT pairs followed by one COMMIT record on the commit
+// stream, recovery installing the batch iff the commit is durable and
+// every intent pair readable — lives in kv_store.hpp / recovery.hpp;
+// this header is deliberately dumb so the protocol has exactly one
+// home.
+//
+// Reads are the caller's business (read-modify-write is expressed by
+// get()-ing outside and buffering the writes here; single-key RMW has
+// the dedicated KvStore::cas / incr fast paths).  Aborting is simply
+// dropping or clear()-ing the buffer: until txn_commit, nothing — no
+// WAL record, no tracker session, no cell — exists anywhere.
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace wfe::txn {
+
+/// One buffered write.  `is_remove` maps to persist::kTxnFlagRemove on
+/// the wire; `value` is ignored for removes.
+template <class K, class V>
+struct TxnOp {
+  K key;
+  V value;
+  bool is_remove;
+};
+
+template <class K, class V>
+class Txn {
+ public:
+  /// Buffers an upsert; overwrites any earlier op on the same key (the
+  /// transaction's effects are its FINAL per-key state — one intent
+  /// pair per key keeps commit-count accounting exact).
+  void put(const K& key, const V& value) { upsert(key, value, false); }
+
+  /// Buffers a remove (applies whether or not the key exists; a remove
+  /// of an absent key is a no-op at install time).
+  void remove(const K& key) { upsert(key, V{}, true); }
+
+  void clear() {
+    ops_.clear();
+    index_.clear();
+  }
+
+  std::size_t size() const noexcept { return ops_.size(); }
+  bool empty() const noexcept { return ops_.empty(); }
+
+  const std::vector<TxnOp<K, V>>& ops() const noexcept { return ops_; }
+
+ private:
+  void upsert(const K& key, const V& value, bool is_remove) {
+    const auto [it, fresh] = index_.try_emplace(key, ops_.size());
+    if (fresh)
+      ops_.push_back({key, value, is_remove});
+    else
+      ops_[it->second] = {key, value, is_remove};
+  }
+
+  std::vector<TxnOp<K, V>> ops_;
+  std::unordered_map<K, std::size_t> index_;  ///< key -> ops_ position
+};
+
+}  // namespace wfe::txn

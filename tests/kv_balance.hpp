@@ -1,0 +1,39 @@
+#pragma once
+// Shared block birth/retire balance identity for the kv suites.
+//
+// While a store (or one shard) is alive, every block the domain's
+// counting allocator ever handed out is in exactly one place: live in
+// the map, buffered for retire in the batch adapter, queued on the
+// domain's retire lists, or already freed.  A live key is
+// `blocks_per_live_key` blocks — 2 on every current path (node + value
+// cell).  Conditional-install abort paths (cas with a wrong expected
+// value, txn/multi ops deferred off a frozen bucket) allocate a cell
+// and hand it straight back via dealloc, which the tracker counts as
+// allocated+freed — the identity absorbs them without a correction
+// term, which is exactly what these checks pin.
+//
+// The parameter exists so a future layout (e.g. inlined values at 1
+// block per key) changes ONE argument instead of four suites.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "kv/stats.hpp"
+
+namespace wfe::test {
+
+/// Asserts the domain ledger identity for one ShardStats snapshot
+/// (either one shard's or a KvStats::total() aggregate) against the
+/// matching live-key count.  `what` labels the failure site.
+inline void expect_block_balance(const kv::ShardStats& s, std::size_t live_keys,
+                                 const char* what,
+                                 std::size_t blocks_per_live_key = 2) {
+  EXPECT_EQ(s.allocated, s.freed + blocks_per_live_key * live_keys +
+                             s.pending_retired + s.unreclaimed)
+      << what << ": allocated=" << s.allocated << " freed=" << s.freed
+      << " live_keys=" << live_keys << " pending=" << s.pending_retired
+      << " unreclaimed=" << s.unreclaimed;
+}
+
+}  // namespace wfe::test

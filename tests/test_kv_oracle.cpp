@@ -16,7 +16,11 @@
 // Runs across all 8 trackers and BOTH upsert paths: the in-place
 // value-cell swap (put) and the legacy remove+re-insert (put_copy).
 // The recorded streams cover every cross-shard multi-op — multi_get,
-// multi_put and multi_remove — against per-key reference results.
+// multi_put and multi_remove — against per-key reference results, and
+// the transactional surface: txn_commit (applied to the reference
+// atomically under ONE lock hold, then diffed key-by-key right after
+// the commit returns), cas (present keys must swap exactly once, wrong
+// expectations must not write) and incr (exact running sums).
 //
 // Resize-aware mode: a dedicated control thread interleaves online
 // resize() calls with each phase's traffic (and phases themselves start
@@ -41,7 +45,9 @@
 
 #include "harness/runner.hpp"
 #include "kv/kv_store.hpp"
+#include "kv_balance.hpp"
 #include "tracker_types.hpp"
+#include "txn/txn.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -63,10 +69,11 @@ unsigned ops_per_thread() {
 
 struct Op {
   enum Kind : std::uint8_t { kInsert, kPut, kUpdate, kRemove, kGet,
-                             kMultiPut, kMultiGet, kMultiRemove };
+                             kMultiPut, kMultiGet, kMultiRemove,
+                             kTxn, kCas, kIncr };
   Kind kind;
-  std::uint64_t key;    // base key for multi-ops
-  std::uint64_t value;
+  std::uint64_t key;    // base key for multi-ops and txns
+  std::uint64_t value;  // for kTxn also the per-key put/remove bit source
 };
 
 /// Record one thread-phase's stream up front ("recorded op streams"):
@@ -80,7 +87,7 @@ std::vector<Op> record_stream(unsigned tid, unsigned phase) {
   ops.reserve(nops);
   for (unsigned i = 0; i < nops; ++i) {
     Op op;
-    const auto r = rng.next_bounded(16);
+    const auto r = rng.next_bounded(19);
     op.kind = r < 3   ? Op::kInsert
               : r < 6 ? Op::kPut
               : r < 8 ? Op::kUpdate
@@ -88,7 +95,10 @@ std::vector<Op> record_stream(unsigned tid, unsigned phase) {
               : r < 13 ? Op::kGet
               : r < 14 ? Op::kMultiPut
               : r < 15 ? Op::kMultiGet
-                       : Op::kMultiRemove;
+              : r < 16 ? Op::kMultiRemove
+              : r < 17 ? Op::kTxn
+              : r < 18 ? Op::kCas
+                       : Op::kIncr;
     // Multi-ops use kMultiBatch consecutive keys starting at key; keep
     // the span inside the slice so the stream stays slice-local.
     op.key = base + rng.next_bounded(kSlice - kMultiBatch);
@@ -133,6 +143,17 @@ struct Reference {
     std::lock_guard<std::mutex> g(mu);
     auto it = map.find(k);
     return it == map.end() ? std::nullopt : std::make_optional(it->second);
+  }
+  /// Atomic multi-key apply: ONE lock hold is the reference's commit,
+  /// matching txn_commit's all-or-nothing contract.
+  void txn(const std::vector<txn::TxnOp<std::uint64_t, std::uint64_t>>& ops) {
+    std::lock_guard<std::mutex> g(mu);
+    for (const auto& o : ops) {
+      if (o.is_remove)
+        map.erase(o.key);
+      else
+        map[o.key] = o.value;
+    }
   }
 };
 
@@ -209,6 +230,47 @@ void replay(Store<TR>& store, Reference& ref, const std::vector<Op>& ops,
           ASSERT_EQ(mout[i], ref_out[i]) << "multi_remove key " << mkeys[i];
         break;
       }
+      case Op::kTxn: {
+        // Mixed put/remove batch over the multi-op span; bit i of
+        // op.value picks the action for key op.key + i.
+        txn::Txn<std::uint64_t, std::uint64_t> t;
+        for (std::size_t i = 0; i < kMultiBatch; ++i) {
+          if ((op.value >> i) & 1)
+            t.remove(op.key + i);
+          else
+            t.put(op.key + i, op.value + i);
+        }
+        ref.txn(t.ops());
+        ASSERT_NE(store.txn_commit(t, tid), 0u);
+        // Per-commit diff: every key the txn touched must read back as
+        // the reference's post-commit state (keys are slice-local, so
+        // no other thread can have moved them in between).
+        for (const auto& o : t.ops())
+          ASSERT_EQ(store.get(o.key, tid), ref.get(o.key))
+              << "txn key " << o.key;
+        break;
+      }
+      case Op::kCas: {
+        const auto cur = ref.get(op.key);
+        if (cur.has_value()) {
+          ASSERT_TRUE(store.cas(op.key, *cur, op.value, tid));
+          ref.put(op.key, op.value);
+          // A stale expectation must fail without writing.
+          ASSERT_FALSE(store.cas(op.key, op.value + 1, 7, tid));
+          ASSERT_EQ(store.get(op.key, tid), std::make_optional(op.value));
+        } else {
+          ASSERT_FALSE(store.cas(op.key, 0, op.value, tid));
+          ASSERT_EQ(store.get(op.key, tid), std::nullopt);
+        }
+        break;
+      }
+      case Op::kIncr: {
+        const std::uint64_t delta = (op.value & 0xff) + 1;
+        const std::uint64_t want = ref.get(op.key).value_or(0) + delta;
+        ref.put(op.key, want);
+        ASSERT_EQ(store.incr(op.key, delta, tid), want);
+        break;
+      }
     }
   }
   store.flush_retired(tid);
@@ -265,8 +327,7 @@ void run_oracle(bool in_place, bool with_resize) {
   // allocate in the destination domain and drains retire in the source.
   const kv::KvStats st = store.stats();
   const kv::ShardStats tot = st.total();
-  EXPECT_EQ(tot.allocated, tot.freed + 2 * store.size_unsafe() +
-                               tot.pending_retired + tot.unreclaimed);
+  test::expect_block_balance(tot, store.size_unsafe(), "oracle final");
   // batched_ops is a per-table counter: in resize mode the final table
   // may have been created after the last multi-op ran, so only the
   // fixed-geometry runs can demand it ticked.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "kv/kv_store.hpp"
+#include "kv_balance.hpp"
 #include "tracker_types.hpp"
 #include "util/random.hpp"
 
@@ -201,23 +202,16 @@ TYPED_TEST(KvStoreTest, ConcurrentSweep8Threads) {
     ASSERT_EQ(static_cast<std::size_t>(balance.load()) + kUpdKeys,
               store.size_unsafe());
 
-    // Birth/retire balance while the store is alive: every allocated
-    // block is live in the map (a present key is TWO blocks — node +
-    // value cell), buffered for retire, queued in the domain, or
-    // already freed.
-    const kv::ShardStats tot = store.stats().total();
-    EXPECT_EQ(tot.allocated,
-              tot.freed + 2 * store.size_unsafe() + tot.pending_retired +
-                  tot.unreclaimed);
+    // Birth/retire balance while the store is alive (see kv_balance.hpp
+    // for the ledger and how conditional-install aborts are absorbed).
+    test::expect_block_balance(store.stats().total(), store.size_unsafe(),
+                               "store total");
     // And per shard — domains are independent, so the identity must
     // hold shard-locally too.
     const kv::KvStats st = store.stats();
-    for (std::size_t i = 0; i < st.shards.size(); ++i) {
-      const kv::ShardStats& s = st.shards[i];
-      EXPECT_EQ(s.allocated, s.freed + 2 * store.shard_at(i).size_unsafe() +
-                                 s.pending_retired + s.unreclaimed)
-          << "shard " << i;
-    }
+    for (std::size_t i = 0; i < st.shards.size(); ++i)
+      test::expect_block_balance(st.shards[i], store.shard_at(i).size_unsafe(),
+                                 "per-shard balance");
   }
   // Store destroyed: every shard drained its domain — nothing leaks
   // (verified inside the tracker destructors via drain_all_unsafe; a

@@ -35,7 +35,9 @@
 
 #include "harness/runner.hpp"
 #include "kv/kv_store.hpp"
+#include "kv_balance.hpp"
 #include "tracker_types.hpp"
+#include "txn/txn.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -91,7 +93,7 @@ void writer_loop(Store<TR>& store, unsigned tid, unsigned ops,
        i < ops || !control_done.load(std::memory_order_acquire); ++i) {
     const std::uint64_t k = base + rng.next_bounded(kSlice - kMultiBatch);
     const std::uint64_t v = rng.next() | 1;
-    switch (rng.next_bounded(8)) {
+    switch (rng.next_bounded(10)) {
       case 0: case 1: {
         ASSERT_EQ(store.put(k, v, tid), expected.find(k) == expected.end());
         expected[k] = v;
@@ -141,6 +143,32 @@ void writer_loop(Store<TR>& store, unsigned tid, unsigned ops,
             expected.erase(it);
           }
         }
+        break;
+      }
+      case 6: {
+        // Multi-key atomic commit with a mixed put/remove batch: the
+        // INTENT pairs + COMMIT record ride the same WALs the snapshots
+        // and resizes are churning, so reopen exercises the txn fold.
+        txn::Txn<std::uint64_t, std::uint64_t> t;
+        for (std::size_t j = 0; j < kMultiBatch; ++j) {
+          if ((v >> j) & 1) {
+            t.remove(k + j);
+            expected.erase(k + j);
+          } else {
+            t.put(k + j, v + j);
+            expected[k + j] = v + j;
+          }
+        }
+        ASSERT_NE(store.txn_commit(t, tid), 0u);
+        break;
+      }
+      case 7: {
+        const std::uint64_t delta = (v & 0xff) + 1;
+        const auto it = expected.find(k);
+        const std::uint64_t want =
+            (it == expected.end() ? 0 : it->second) + delta;
+        expected[k] = want;
+        ASSERT_EQ(store.incr(k, delta, tid), want);
         break;
       }
       default: {
@@ -250,6 +278,11 @@ void run_stress() {
     for (const auto& m : expected) want.insert(m.begin(), m.end());
     want[kPinnedKey] = pinned_final;
     ASSERT_EQ(got, want) << "live store diverged from the writers' ledgers";
+
+    // Ledger identity with txn/incr conditional-install paths in the
+    // mix — kv_balance.hpp documents how aborted installs are absorbed.
+    test::expect_block_balance(store.stats().total(), store.size_unsafe(),
+                               "persist stress final");
   }
 
   // Clean close happened above; reopen must reconstruct the exact state.

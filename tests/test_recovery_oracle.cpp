@@ -37,11 +37,22 @@
 //   (cutoff >= durable watermark) and the fold equality are still
 //   asserted independently.
 //
+// Transactions ride every kill: the op mix includes multi-key
+// txn_commit (INTENT pairs on the touched shard streams + one COMMIT
+// on the shard-0 stream) and incr.  The independent per-stream cuts
+// land kills between the pairs' flush and the COMMIT's flush in both
+// directions — commit lost with pairs kept, pairs cut with commit
+// kept — and the fold applies a txn's effects all-or-nothing: only if
+// the COMMIT record AND every pair survive (or the whole txn predates
+// the snapshot, whose dump covers it).  A recovery that installed a
+// subset of a transaction fails the exact state diff.
+//
 // WFE_TEST_KILLS scales the kill-point count (default 100 — the
 // acceptance bar); WFE_TEST_OPS the ops per kill.
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -57,6 +68,7 @@
 #include "kv/kv_store.hpp"
 #include "persist/recovery.hpp"
 #include "reclaim/hp.hpp"
+#include "txn/txn.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -80,6 +92,19 @@ struct JournalEntry {
   std::uint64_t key;
   std::uint64_t value;
   bool is_remove;
+  std::uint64_t txn = 0;  // txn id for transactional effects (0 = singleton)
+};
+
+/// Where one transaction's records landed — enough for the fold to
+/// decide survival per stream.  Single-threaded driver, so the deltas
+/// of each stream's appended LSN around txn_commit are exactly the
+/// txn's records: pairs back-to-back per shard, COMMIT appended last
+/// on the epoch's shard-0 stream.
+struct TxnMeta {
+  std::uint64_t epoch = 0;
+  std::uint64_t commit_lsn = 0;              // on the shard-0 stream
+  std::array<std::uint64_t, 8> last_pair{};  // DATA lsn of the shard's last
+                                             // pair (0 = no pairs there)
 };
 
 template <class TR>
@@ -114,6 +139,7 @@ void run_kill_point(unsigned kill, const std::string& dir) {
       ops / 2 + static_cast<unsigned>(rng.next_bounded(ops / 2));
 
   std::vector<JournalEntry> journal;
+  std::map<std::uint64_t, TxnMeta> txn_meta;
   std::vector<persist::CrashedTail> tails;
   std::uint64_t final_epoch = 1;
   std::uint64_t mark_epoch = 0;       // table epoch the mid-run snapshot saw
@@ -140,7 +166,7 @@ void run_kill_point(unsigned kill, const std::string& dir) {
       if (i == suppress_at) store.persist_suppress_sync(true);
       const std::uint64_t k = rng.next_bounded(kKeyRange) + 1;
       const std::uint64_t v = rng.next();
-      switch (rng.next_bounded(10)) {
+      switch (rng.next_bounded(12)) {
         case 0: case 1: case 2: case 3:
           store.put(k, v, 0);
           note(k, v, false);
@@ -154,6 +180,42 @@ void run_kill_point(unsigned kill, const std::string& dir) {
           break;
         case 6:
           if (store.update(k, v, 0)) note(k, v, false);
+          break;
+        case 7: {
+          // Width-4 multi-key commit with a mixed put/remove batch.
+          txn::Txn<std::uint64_t, std::uint64_t> t;
+          for (unsigned j = 0; j < 4; ++j) {
+            const std::uint64_t tk = rng.next_bounded(kKeyRange) + 1;
+            if (rng.next_bounded(4) == 0)
+              t.remove(tk);
+            else
+              t.put(tk, v + j);
+          }
+          const std::uint64_t nshards = store.shard_count();
+          std::array<std::uint64_t, 8> pre{};
+          for (std::uint64_t s = 0; s < nshards; ++s)
+            pre[s] = store.shard_at(s).wal()->appended_lsn();
+          const std::uint64_t id = store.txn_commit(t, 0);
+          ASSERT_NE(id, 0u);
+          TxnMeta m;
+          m.epoch = store.table_epoch();
+          m.commit_lsn = store.shard_at(0).wal()->appended_lsn();
+          for (std::uint64_t s = 1; s < nshards; ++s) {
+            const std::uint64_t post = store.shard_at(s).wal()->appended_lsn();
+            if (post > pre[s]) m.last_pair[s] = post;
+          }
+          // Shard 0's stream carries its own pairs and then the COMMIT.
+          if (m.commit_lsn - pre[0] > 1) m.last_pair[0] = m.commit_lsn - 1;
+          txn_meta.emplace(id, m);
+          for (const auto& o : t.ops())
+            journal.push_back(
+                {m.epoch, 0, 0, o.key, o.value, o.is_remove, id});
+          break;
+        }
+        case 8:
+          // One kPut record on success via either internal path
+          // (insert when absent, value-cell CAS when present).
+          note(k, store.incr(k, (v & 0xf) + 1, 0), false);
           break;
         default:
           if (store.remove(k, 0).has_value()) note(k, 0, true);
@@ -233,12 +295,33 @@ void run_kill_point(unsigned kill, const std::string& dir) {
   }
 
   // ---- independent fold of the journal over the surviving prefixes ----
+  // A transaction survives all-or-nothing: its COMMIT record must be
+  // inside the commit stream's surviving prefix AND every pair inside
+  // its shard stream's prefix (a pair's INTENT sits at data-1, so the
+  // data LSN clearing the cutoff implies the whole pair is readable).
+  // Txns wholly before the snapshot are covered by the dump even when
+  // truncation erased their records.
+  const auto txn_applied = [&](std::uint64_t id) {
+    const TxnMeta& m = txn_meta.at(id);
+    if (mark_epoch != 0 && m.epoch < mark_epoch) return true;
+    if (m.commit_lsn > cutoff[{m.epoch, 0}]) return false;
+    for (std::uint64_t s = 0; s < m.last_pair.size(); ++s)
+      if (m.last_pair[s] != 0 && m.last_pair[s] > cutoff[{m.epoch, s}])
+        return false;
+    return true;
+  };
   std::map<std::uint64_t, std::uint64_t> want;
   for (const JournalEntry& e : journal) {
-    // Epochs older than the snapshot's may have had their files
-    // truncated away entirely: the snapshot dump covers them.
-    const bool snap_covered = mark_epoch != 0 && e.epoch < mark_epoch;
-    if (!snap_covered && e.lsn > cutoff[{e.epoch, e.shard}]) continue;
+    if (e.txn != 0) {
+      // All of a txn's effects fold together or not at all; a recovery
+      // that installed a strict subset fails the state diff below.
+      if (!txn_applied(e.txn)) continue;
+    } else {
+      // Epochs older than the snapshot's may have had their files
+      // truncated away entirely: the snapshot dump covers them.
+      const bool snap_covered = mark_epoch != 0 && e.epoch < mark_epoch;
+      if (!snap_covered && e.lsn > cutoff[{e.epoch, e.shard}]) continue;
+    }
     if (e.is_remove)
       want.erase(e.key);
     else
@@ -253,6 +336,55 @@ void run_kill_point(unsigned kill, const std::string& dir) {
     store.for_each_unsafe([&](std::uint64_t k, std::uint64_t v) {
       ASSERT_TRUE(got.emplace(k, v).second) << "duplicate key " << k;
     });
+    if (got != want) {  // name the diverging keys before the fatal assert
+      std::set<std::uint64_t> bad;
+      for (const auto& [k, v] : got)
+        if (want.count(k) == 0 || want.at(k) != v) {
+          bad.insert(k);
+          std::fprintf(stderr, "  kill %u: got %llu=%llu (want %s)\n", kill,
+                       static_cast<unsigned long long>(k),
+                       static_cast<unsigned long long>(v),
+                       want.count(k) ? "different value" : "absent");
+        }
+      for (const auto& [k, v] : want)
+        if (got.count(k) == 0) {
+          bad.insert(k);
+          std::fprintf(stderr, "  kill %u: missing %llu=%llu\n", kill,
+                       static_cast<unsigned long long>(k),
+                       static_cast<unsigned long long>(v));
+        }
+      // Full history of each diverging key, with the fold's verdicts.
+      for (const JournalEntry& e : journal) {
+        if (bad.count(e.key) == 0) continue;
+        std::fprintf(stderr,
+                     "    e%llu/s%llu lsn=%llu %s key=%llu val=%llu txn=%llu"
+                     " cutoff=%llu\n",
+                     static_cast<unsigned long long>(e.epoch),
+                     static_cast<unsigned long long>(e.shard),
+                     static_cast<unsigned long long>(e.lsn),
+                     e.is_remove ? "rm " : "put",
+                     static_cast<unsigned long long>(e.key),
+                     static_cast<unsigned long long>(e.value),
+                     static_cast<unsigned long long>(e.txn),
+                     static_cast<unsigned long long>(
+                         cutoff[{e.epoch, e.shard}]));
+        if (e.txn != 0) {
+          const TxnMeta& m = txn_meta.at(e.txn);
+          std::fprintf(stderr,
+                       "      txn %llu: applied=%d epoch=%llu commit=%llu "
+                       "pairs={%llu,%llu,%llu,%llu} mark_epoch=%llu\n",
+                       static_cast<unsigned long long>(e.txn),
+                       txn_applied(e.txn) ? 1 : 0,
+                       static_cast<unsigned long long>(m.epoch),
+                       static_cast<unsigned long long>(m.commit_lsn),
+                       static_cast<unsigned long long>(m.last_pair[0]),
+                       static_cast<unsigned long long>(m.last_pair[1]),
+                       static_cast<unsigned long long>(m.last_pair[2]),
+                       static_cast<unsigned long long>(m.last_pair[3]),
+                       static_cast<unsigned long long>(mark_epoch));
+        }
+      }
+    }
     ASSERT_EQ(got, want) << "recovered state diverged at kill " << kill;
     ASSERT_EQ(store.size_unsafe(), want.size());
   }
@@ -285,7 +417,9 @@ void run_oracle(const char* tag, unsigned kills) {
     char tmpl[] = "/tmp/wfe_recovery_XXXXXX";
     root = ::mkdtemp(tmpl);
   }
-  for (unsigned kill = 0; kill < kills; ++kill) {
+  // WFE_TEST_KILL_START replays a failing kill point in isolation.
+  const unsigned start = env_unsigned("WFE_TEST_KILL_START", 0);
+  for (unsigned kill = start; kill < start + kills; ++kill) {
     run_kill_point<TR>(kill, root + "/" + tag);
     if (::testing::Test::HasFatalFailure()) {
       // Leave the mangled WAL directory behind for the post-mortem.

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "kv/kv_store.hpp"
+#include "kv_balance.hpp"
 #include "tracker_types.hpp"
 
 namespace {
@@ -205,9 +206,8 @@ TYPED_TEST(ReshardUnitTest, BlockConservationAfterResize) {
   s.flush_retired(kTid);
   // Domain-local conservation on the CURRENT table: every allocation is
   // live (node + cell per key), buffered, queued, or freed.
-  const kv::ShardStats tot = s.stats().total();
-  EXPECT_EQ(tot.allocated, tot.freed + 2 * s.size_unsafe() +
-                               tot.pending_retired + tot.unreclaimed);
+  test::expect_block_balance(s.stats().total(), s.size_unsafe(),
+                             "post-resize balance");
 }
 
 TYPED_TEST(ReshardUnitTest, AllOpClassesAfterResizeMatchReference) {
