@@ -119,10 +119,12 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "admit/controller.hpp"
 #include "ds/hash_map.hpp"
 #include "kv/shard.hpp"
 #include "kv/stats.hpp"
@@ -137,6 +139,18 @@
 #include "util/stats.hpp"
 
 namespace wfe::kv {
+
+/// Thrown by the op entry points when the admission controller refuses
+/// the op (KvConfig::admission; never thrown when admission is off).
+/// An explicit outcome instead of silent latency blowup: callers decide
+/// whether to back off, retry, or surface the overload to their client.
+struct Overloaded : std::runtime_error {
+  explicit Overloaded(bool write_op)
+      : std::runtime_error(write_op ? "kv: overloaded, write shed"
+                                    : "kv: overloaded, read shed"),
+        write(write_op) {}
+  bool write;  ///< true when a write was refused (writes shed first)
+};
 
 struct KvConfig {
   std::size_t shards = 8;             ///< rounded up to a power of two
@@ -173,6 +187,13 @@ struct KvConfig {
   /// when disabled (the default): every instrumentation site is one
   /// untaken branch.
   obs::MetricsOptions metrics;
+  /// Admission control (src/admit/): ratekeeper-style front-door
+  /// throttling/shedding driven by the sampler's snapshot ring.  Same
+  /// null-object discipline as metrics — disabled (the default) costs
+  /// one untaken branch per op.  Enabling it forces metrics + sampler
+  /// on (the controller consumes their signals); refused ops throw
+  /// kv::Overloaded.
+  admit::AdmitOptions admission;
 };
 
 template <class K, class V, reclaim::tracker_for Tracker>
@@ -207,6 +228,12 @@ class KvStore {
     if (const char* e = std::getenv("WFE_TEST_HELP");
         e != nullptr && *e != '\0' && *e != '0')
       cfg_.resize_force_help = true;
+    if (cfg_.admission.enabled) {
+      // The controller consumes the sampler's time series; admission
+      // without metrics would run open-loop.
+      cfg_.metrics.enabled = true;
+      cfg_.metrics.sampler = true;
+    }
     for (unsigned t = 0; t < cfg_.tracker.max_threads; ++t) {
       announce_[t].store(kIdle, std::memory_order_relaxed);
       grow_ticks_[t] = 0;
@@ -234,6 +261,12 @@ class KvStore {
       epoch_.store(1, std::memory_order_release);
     }
     if (metrics_) metrics_->start_sampler();
+    if (cfg_.admission.enabled) {
+      // After recovery replay (which must never be throttled) and after
+      // the sampler, so the controller's first observation is real.
+      admit_ = std::make_unique<admit::AdmissionController>(cfg_.admission);
+      admit_->start(metrics_ ? metrics_->sampler() : nullptr);
+    }
   }
 
   // tables_ owns every table; shards flush (gate bypassed) before their
@@ -242,11 +275,13 @@ class KvStore {
   // and the WAL flushers still record fsync latency during teardown —
   // which is why metrics_ is declared before tables_ (destroyed after).
   ~KvStore() {
+    if (admit_) admit_->stop();  // its driver reads the sampler's ring
     if (metrics_) metrics_->stop_sampler();
   }
 
   std::optional<V> get(const K& key, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    gate_read();
     std::optional<V> out;
     {
       TableGuard g(*this, tid);
@@ -266,6 +301,7 @@ class KvStore {
   /// keys); true when the key was absent.
   bool put(const K& key, const V& value, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    gate_write();
     bool was_absent = false;
     {
       TableGuard g(*this, tid);
@@ -287,6 +323,7 @@ class KvStore {
   /// "was absent" answer accumulates across forwarded tables.
   bool put_copy(const K& key, const V& value, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    gate_write();
     bool saw_present = false;
     {
       TableGuard g(*this, tid);
@@ -304,6 +341,7 @@ class KvStore {
   /// Insert-if-absent; false (no write) when present.
   bool insert(const K& key, const V& value, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    gate_write();
     bool inserted = false;
     {
       TableGuard g(*this, tid);
@@ -322,6 +360,7 @@ class KvStore {
   /// Replace-if-present; false (no write) when absent.
   bool update(const K& key, const V& value, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    gate_write();
     bool updated = false;
     {
       TableGuard g(*this, tid);
@@ -336,6 +375,7 @@ class KvStore {
 
   std::optional<V> remove(const K& key, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    gate_write();
     std::optional<V> out;
     {
       TableGuard g(*this, tid);
@@ -365,6 +405,7 @@ class KvStore {
                  unsigned tid) {
     if (n == 0) return;
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    gate_read();
     {
       TableGuard g(*this, tid);
       Table* t = g.table;
@@ -411,6 +452,7 @@ class KvStore {
                         unsigned tid) {
     if (n == 0) return 0;
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    gate_write(n);
     std::size_t inserted = 0;
     {
       TableGuard g(*this, tid);
@@ -462,6 +504,7 @@ class KvStore {
                            unsigned tid) {
     if (n == 0) return 0;
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    gate_write(n);
     std::size_t removed = 0;
     {
       TableGuard g(*this, tid);
@@ -520,6 +563,7 @@ class KvStore {
     const auto& tops = txn.ops();
     if (tops.empty()) return 0;
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    gate_write(tops.size());
     const std::uint64_t id = 1 + txn_seq_.fetch_add(1, std::memory_order_relaxed);
     std::uint64_t total_pairs = 0;
     std::size_t inserted = 0, removed = 0;
@@ -598,6 +642,7 @@ class KvStore {
   /// mismatch.
   bool cas(const K& key, const V& expected, const V& desired, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    gate_write();
     bool swapped = false;
     {
       TableGuard g(*this, tid);
@@ -799,6 +844,15 @@ class KvStore {
     st.persist_enabled = cfg_.persistence.enabled;
     st.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
     st.txn_commits = counters_.sum(kTxnCommits);
+    if (admit_) {
+      const admit::AdmitSnapshot a = admit_->snapshot();
+      st.admit_enabled = true;
+      st.admit_write_rate = a.write_rate;
+      st.admit_severity = a.severity;
+      st.admit_shed_writes = a.shed_writes;
+      st.admit_shed_reads = a.shed_reads;
+      st.admit_throttle_waits = a.throttle_waits;
+    }
     return st;
   }
 
@@ -806,6 +860,13 @@ class KvStore {
 
   obs::KvMetrics* metrics() noexcept { return metrics_.get(); }
   const obs::KvMetrics* metrics() const noexcept { return metrics_.get(); }
+
+  // ---- admission control (src/admit/; null when admission is off) ----
+
+  admit::AdmissionController* admission() noexcept { return admit_.get(); }
+  const admit::AdmissionController* admission() const noexcept {
+    return admit_.get();
+  }
 
   /// Serialize a fresh registry snapshot (histogram digests + gauges) to
   /// `path`.  False when metrics are disabled or the write failed.
@@ -920,6 +981,7 @@ class KvStore {
   void attach_wal_metrics(persist::ShardWal& wal, std::size_t shard) {
     if (!metrics_) return;
     wal.set_metrics(&metrics_->wal_fsync, &metrics_->wal_commit_wait,
+                    &metrics_->trace,
                     static_cast<unsigned>(shard) % cfg_.tracker.max_threads);
   }
 
@@ -981,6 +1043,27 @@ class KvStore {
     g("kv_txn_ops_total", t.txn_ops);
     g("kv_txn_commits_total", st.txn_commits);
     g("kv_approx_size", approx_size());
+    if (st.admit_enabled) {
+      g("kv_admit_write_rate", st.admit_write_rate);
+      g("kv_admit_severity", st.admit_severity);
+      g("kv_admit_shed_writes_total", st.admit_shed_writes);
+      g("kv_admit_shed_reads_total", st.admit_shed_reads);
+      g("kv_admit_throttle_waits_total", st.admit_throttle_waits);
+    }
+  }
+
+  /// Admission gates: sit between op_begin() and the table guard, so a
+  /// throttle wait lands inside the op's observed latency (and its
+  /// trace tag survives — op_begin resets tls_cause first) while a
+  /// refusal throws before any store state is touched.  One untaken
+  /// branch when admission is off.
+  void gate_read() {
+    if (admit_ && !admit_->admit_read()) throw Overloaded(false);
+  }
+  void gate_write(std::size_t n = 1) {
+    if (admit_ && !admit_->admit_write(static_cast<std::uint32_t>(
+                      std::min<std::size_t>(n, 0xffffffffu))))
+      throw Overloaded(true);
   }
 
   std::size_t shard_index_in(const Table& t, const K& key) const noexcept {
@@ -1397,6 +1480,10 @@ class KvStore {
   /// cfg_.metrics.enabled is false — every probe site is one untaken
   /// branch.
   std::unique_ptr<obs::KvMetrics> metrics_;
+  /// Admission controller (src/admit/); null when admission is off.
+  /// Started after recovery replay, stopped (dtor) before the sampler
+  /// its driver polls.
+  std::unique_ptr<admit::AdmissionController> admit_;
   std::atomic<Table*> table_{nullptr};
   std::atomic<std::uint64_t> epoch_{0};
   /// Per-thread table-epoch announcements (kIdle when not in an op).

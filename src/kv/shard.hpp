@@ -441,6 +441,7 @@ class Shard {
                               ? s.wal_appended_lsn - s.wal_durable_lsn
                               : 0;
       s.wal_fsyncs = wal_->fsyncs();
+      s.wal_backpressure_waits = wal_->backpressure_waits();
     }
     return s;
   }

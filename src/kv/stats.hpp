@@ -61,6 +61,9 @@ struct ShardStats {
   /// zero there, since a sum of LSNs means nothing.
   std::uint64_t wal_durable_lag = 0;
   std::uint64_t wal_fsyncs = 0;
+  /// Appends that found the stream ring full and sat in the capped
+  /// backoff of ShardWal::wait_ring_space (one count per episode).
+  std::uint64_t wal_backpressure_waits = 0;
 
   std::uint64_t ops() const noexcept { return gets + puts + removes + updates; }
 };
@@ -112,6 +115,14 @@ struct KvStats {
   // ---- transactions (src/txn/) ----
   std::uint64_t txn_commits = 0;  ///< multi-key commits completed
 
+  // ---- admission control (src/admit/; zeros when disabled) ----
+  bool admit_enabled = false;
+  double admit_write_rate = 0;   ///< current token-bucket rate, ops/s
+  double admit_severity = 0;     ///< smoothed overload severity (1.0 = at target)
+  std::uint64_t admit_shed_writes = 0;     ///< write ops refused
+  std::uint64_t admit_shed_reads = 0;      ///< read ops refused
+  std::uint64_t admit_throttle_waits = 0;  ///< writes that waited on the bucket
+
   ShardStats total() const noexcept {
     ShardStats t;
     for (const ShardStats& s : shards) {
@@ -135,6 +146,7 @@ struct KvStats {
       if (s.wal_durable_lag > t.wal_durable_lag)
         t.wal_durable_lag = s.wal_durable_lag;
       t.wal_fsyncs += s.wal_fsyncs;
+      t.wal_backpressure_waits += s.wal_backpressure_waits;
     }
     return t;
   }
@@ -166,6 +178,7 @@ inline void to_json(util::JsonWriter& j, const ShardStats& s) {
   j.kv("wal_durable_lsn", s.wal_durable_lsn);
   j.kv("wal_durable_lag", s.wal_durable_lag);
   j.kv("wal_fsyncs", s.wal_fsyncs);
+  j.kv("wal_backpressure_waits", s.wal_backpressure_waits);
   j.end_object();
 }
 

@@ -80,11 +80,17 @@ class Sampler {
 
  private:
   void loop() {
+    // Absolute deadlines, not wait_for(interval): a relative wait makes
+    // the real period interval + snapshot cost, so the ring's time
+    // series drifts and anything consuming it (the admission
+    // controller's trend terms) sees a slower, jittery cadence.  Each
+    // snapshot stamps its own capture time (RegistrySnapshot::at_ns),
+    // so consumers always see when it was really taken.
+    const auto interval = std::chrono::milliseconds(interval_ms_);
+    auto next = std::chrono::steady_clock::now() + interval;
     std::unique_lock<std::mutex> lk(mu_);
     while (!stop_) {
-      if (cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
-                       [this] { return stop_; }))
-        break;
+      if (cv_.wait_until(lk, next, [this] { return stop_; })) break;
       lk.unlock();
       // Snapshot outside mu_ so history readers never wait on a slow
       // gauge collector (stats() takes the store's resize mutex).
@@ -93,6 +99,11 @@ class Sampler {
       ring_.push_back(std::move(s));
       if (ring_.size() > capacity_) ring_.pop_front();
       ++taken_;
+      next += interval;
+      // A snapshot slower than the interval must not bank a burst of
+      // catch-up ticks: resume the cadence from now.
+      if (const auto now = std::chrono::steady_clock::now(); next <= now)
+        next = now + interval;
     }
   }
 

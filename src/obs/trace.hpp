@@ -42,6 +42,7 @@ enum class OpKind : std::uint8_t {
   kMultiGet,
   kMultiPut,
   kMultiRemove,
+  kWalAppend,  ///< not a kv op: a WAL ring-backpressure episode
 };
 
 enum class TraceCause : std::uint8_t {
@@ -50,6 +51,7 @@ enum class TraceCause : std::uint8_t {
   kHelpMigration,    ///< did migration work (helper or resize driver)
   kWalBackpressure,  ///< blocked on WAL ring space or durable watermark
   kSlowPath,         ///< reclamation took the WFE wait-free slow path
+  kAdmitThrottle,    ///< waited on the admission controller's token bucket
 };
 
 inline const char* name(OpKind k) noexcept {
@@ -62,6 +64,7 @@ inline const char* name(OpKind k) noexcept {
     case OpKind::kMultiGet: return "multi_get";
     case OpKind::kMultiPut: return "multi_put";
     case OpKind::kMultiRemove: return "multi_remove";
+    case OpKind::kWalAppend: return "wal_append";
   }
   return "?";
 }
@@ -73,6 +76,7 @@ inline const char* name(TraceCause c) noexcept {
     case TraceCause::kHelpMigration: return "help-migration";
     case TraceCause::kWalBackpressure: return "wal-backpressure";
     case TraceCause::kSlowPath: return "slow-path";
+    case TraceCause::kAdmitThrottle: return "admit-throttle";
   }
   return "?";
 }

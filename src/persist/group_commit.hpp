@@ -6,9 +6,10 @@
 // body is written into the in-memory ring segment, and the slot is
 // published by storing its LSN into the slot's sequence word (release).
 // Appenders never take a lock and never touch the file; the only wait is
-// a yield-spin when the ring laps the flusher (capacity pressure), plus,
-// in SyncMode::kAlways, a condvar wait for the durable watermark to
-// cover the new record.
+// a capped-backoff spin when the ring laps the flusher (capacity
+// pressure — wait_ring_space, which also traces the episode), plus, in
+// SyncMode::kAlways, a condvar wait for the durable watermark to cover
+// the new record.
 //
 // Flush path (one flusher thread per stream): consume the contiguous
 // published prefix of the ring, serialize it (CRC32C per record) into
@@ -49,6 +50,7 @@
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
 #include "persist/wal.hpp"
+#include "util/backoff.hpp"
 
 namespace wfe::persist {
 
@@ -93,16 +95,19 @@ class ShardWal {
   std::uint64_t epoch() const noexcept { return epoch_; }
   unsigned shard() const noexcept { return shard_; }
 
-  /// Attaches latency probes (src/obs/): fsync duration and commit-wait
-  /// duration.  `lane` is a fixed histogram lane for this stream — the
-  /// flusher thread has no kv thread slot, and per-stream lanes keep its
-  /// records off the mutators' cache lines.  Call before traffic;
-  /// detaching (nullptr) while appenders run is not supported.
+  /// Attaches latency probes (src/obs/): fsync duration, commit-wait
+  /// duration, and the slow-op trace ring (ring-backpressure episodes
+  /// push a real event there, not just a tls tag).  `lane` is a fixed
+  /// histogram lane for this stream — the flusher thread has no kv
+  /// thread slot, and per-stream lanes keep its records off the
+  /// mutators' cache lines.  Call before traffic; detaching (nullptr)
+  /// while appenders run is not supported.
   void set_metrics(obs::LatencyHistogram* fsync_hist,
                    obs::LatencyHistogram* commit_wait_hist,
-                   unsigned lane) noexcept {
+                   obs::TraceRing* trace, unsigned lane) noexcept {
     fsync_hist_ = fsync_hist;
     commit_wait_hist_ = commit_wait_hist;
+    trace_ = trace;
     metrics_lane_ = lane;
   }
 
@@ -137,13 +142,7 @@ class ShardWal {
     assert(!crashed_.load(std::memory_order_relaxed));
     const std::uint64_t lsn =
         reserved_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    // Ring backpressure: the slot is reusable only once the flusher has
-    // consumed its previous occupant (lsn - cap_).
-    while (lsn - consumed_pub_.load(std::memory_order_acquire) > cap_) {
-      if (commit_wait_hist_ != nullptr)
-        obs::tls_cause = obs::TraceCause::kWalBackpressure;
-      std::this_thread::yield();
-    }
+    wait_ring_space(lsn);
     Slot& s = ring_[(lsn - 1) & (cap_ - 1)];
     s.type = type;
     s.key = key;
@@ -166,11 +165,7 @@ class ShardWal {
     assert(!crashed_.load(std::memory_order_relaxed));
     const std::uint64_t lsn2 =
         reserved_.fetch_add(2, std::memory_order_acq_rel) + 2;
-    while (lsn2 - consumed_pub_.load(std::memory_order_acquire) > cap_) {
-      if (commit_wait_hist_ != nullptr)
-        obs::tls_cause = obs::TraceCause::kWalBackpressure;
-      std::this_thread::yield();
-    }
+    wait_ring_space(lsn2);
     Slot& a = ring_[(lsn2 - 2) & (cap_ - 1)];
     a.type = t1;
     a.key = k1;
@@ -204,6 +199,13 @@ class ShardWal {
   }
   std::uint64_t fsyncs() const noexcept {
     return fsyncs_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring-backpressure wait episodes appenders have served (an episode
+  /// is one append stalling until the flusher freed its slot, however
+  /// many backoff rounds that took).
+  std::uint64_t backpressure_waits() const noexcept {
+    return backpressure_waits_.load(std::memory_order_relaxed);
   }
 
   /// Blocks until everything appended before the call is durable.
@@ -251,6 +253,18 @@ class ShardWal {
   /// not on the platter" window a real crash would expose.
   void suppress_sync(bool on) noexcept {
     sync_suppressed_.store(on, std::memory_order_release);
+  }
+
+  /// Test hook: parks the flusher entirely (no ring consumption, no
+  /// writes) so the ring fills and appenders hit backpressure — the
+  /// stalled-flusher scenario the capped-backoff wait exists for.
+  /// Clearing it wakes the flusher immediately.
+  void suppress_flush(bool on) noexcept {
+    flush_suppressed_.store(on, std::memory_order_release);
+    if (!on) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_flush_.notify_one();
+    }
   }
 
   /// Simulated kill: the flusher stops WITHOUT flushing the ring or
@@ -390,6 +404,13 @@ class ShardWal {
     std::size_t buf_off = 0;
     std::uint64_t buf_last = 0;
     for (;;) {
+      if (flush_suppressed_.load(std::memory_order_acquire)) {
+        // Parked by the test hook: consume nothing until it clears.
+        std::unique_lock<std::mutex> lk(mu_);
+        if (stop_) break;
+        cv_flush_.wait_for(lk, std::chrono::microseconds(flush_idle_us_));
+        continue;
+      }
       std::uint64_t rotate_goal;
       {
         std::lock_guard<std::mutex> lk(mu_);
@@ -561,6 +582,38 @@ class ShardWal {
     synced_bytes_ = 0;
   }
 
+  /// Ring backpressure: the slot for `lsn` is reusable only once the
+  /// flusher has consumed its previous occupant (lsn - cap_).  Capped
+  /// exponential backoff, never a bare yield spin — on an
+  /// oversubscribed host (the 1-CPU CI runner above all) a pack of
+  /// yielding appenders can bounce off each other for whole quanta
+  /// while the flusher, the only thread that can free slots, waits for
+  /// a turn; util::Backoff folds in a yield only at its cap, so the
+  /// flusher is guaranteed scheduling (the same fix PR 5 applied to
+  /// wait_migrated).  Each episode pushes ONE trace event when a ring
+  /// is attached: saturation shows up in the slow-op trace as a
+  /// wal-backpressure event with the episode's true duration, instead
+  /// of only a tls tag an op wrapper may or may not harvest.
+  void wait_ring_space(std::uint64_t lsn) {
+    if (lsn - consumed_pub_.load(std::memory_order_acquire) <= cap_) return;
+    obs::tls_cause = obs::TraceCause::kWalBackpressure;
+    const std::uint64_t t0 = obs::now_ticks();
+    {
+      // Cut the flusher's idle timeout short: it frees the slots.
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_flush_.notify_one();
+    }
+    util::Backoff backoff;
+    do {
+      backoff.pause();
+    } while (lsn - consumed_pub_.load(std::memory_order_acquire) > cap_);
+    backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
+    if (trace_ != nullptr)
+      trace_->push(obs::OpKind::kWalAppend, shard_,
+                   obs::ticks_to_ns(obs::now_ticks() - t0),
+                   obs::TraceCause::kWalBackpressure);
+  }
+
   void wait_durable(std::uint64_t lsn) {
     if (durable_.load(std::memory_order_acquire) >= lsn) return;
     // This op is now group-commit bound: tag it so a slow-op trace can
@@ -595,12 +648,15 @@ class ShardWal {
   std::atomic<std::uint64_t> consumed_pub_{0};  ///< ring slots reusable up to
   std::atomic<std::uint64_t> durable_{0};       ///< the watermark
   std::atomic<bool> sync_suppressed_{false};
+  std::atomic<bool> flush_suppressed_{false};
   std::atomic<bool> crashed_{false};
   std::atomic<std::uint64_t> fsyncs_{0};
+  std::atomic<std::uint64_t> backpressure_waits_{0};
 
   // Latency probes (null when the store runs without metrics).
   obs::LatencyHistogram* fsync_hist_ = nullptr;
   obs::LatencyHistogram* commit_wait_hist_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
   unsigned metrics_lane_ = 0;
 
   // Flusher-owned (plus mu_-guarded shared bits).

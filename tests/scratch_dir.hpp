@@ -1,0 +1,68 @@
+#pragma once
+// Shared scratch-directory helper for the persistence test suites.
+//
+// Earlier suites hardcoded "/tmp/wfe_*_XXXXXX" and removed the tree
+// only on the success path.  This helper:
+//
+//  - honors $TMPDIR (falling back to /tmp), so sandboxed or CI runners
+//    with a private tmp work without patching every suite;
+//  - removes the tree in the destructor, which runs on FAILED tests
+//    too (gtest failures are not exceptions), so a red run no longer
+//    leaks scratch directories;
+//  - keeps the tree (and prints its path) when WFE_KEEP_SCRATCH is
+//    set, so CI can upload the WAL segments as a debugging artifact
+//    when a suite fails.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+namespace wfe::test {
+
+inline std::string scratch_root() {
+  const char* t = std::getenv("TMPDIR");
+  if (t == nullptr || *t == '\0') return "/tmp";
+  std::string r = t;
+  while (r.size() > 1 && r.back() == '/') r.pop_back();
+  return r;
+}
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const char* tag) {
+    std::string buf = scratch_root() + "/wfe_" + tag + "_XXXXXX";
+    const char* made = ::mkdtemp(buf.data());
+    if (made == nullptr) {
+      std::perror("ScratchDir: mkdtemp");
+      std::abort();
+    }
+    path_ = made;
+  }
+
+  ~ScratchDir() {
+    if (keep()) {
+      std::fprintf(stderr, "WFE_KEEP_SCRATCH: keeping %s\n", path_.c_str());
+      return;
+    }
+    std::error_code ec;  // best effort — never throw from a destructor
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+
+  static bool keep() {
+    const char* e = std::getenv("WFE_KEEP_SCRATCH");
+    return e != nullptr && *e != '\0' && *e != '0';
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace wfe::test

@@ -1,0 +1,201 @@
+// Admission-controller contracts (src/admit/): the control law is a
+// pure state machine (observe()/refill() driven directly, no threads,
+// no clocks), so ramp-down, recovery, slope-triggered throttling and
+// the shed ladder are all deterministic here; the store-level tests
+// then pin the wiring — null object when disabled, kv::Overloaded on a
+// refused write, reads never token-gated.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+#include "admit/controller.hpp"
+#include "core/wfe.hpp"
+#include "kv/kv_store.hpp"
+#include "txn/txn.hpp"
+
+namespace {
+
+using namespace wfe;
+
+using Store = kv::KvStore<std::uint64_t, std::uint64_t, core::WfeTracker>;
+
+admit::AdmitOptions law_opts() {
+  admit::AdmitOptions o;
+  o.enabled = true;
+  o.max_write_rate = 1e6;
+  o.min_write_rate = 100;
+  o.severity_alpha = 1.0;  // no smoothing: single-step deterministic law
+  return o;
+}
+
+TEST(AdmitLaw, RateRampsDownUnderLagAndRecoversAfterDrain) {
+  admit::AdmitOptions o = law_opts();
+  o.wal_lag_target = 100;
+  admit::AdmissionController c(o);
+  EXPECT_DOUBLE_EQ(c.write_rate(), o.max_write_rate);
+
+  admit::Signals s;
+  s.wal_lag = 400;  // 4x over target
+  c.observe(s);
+  EXPECT_NEAR(c.severity(), 4.0, 1e-9);
+  EXPECT_NEAR(c.write_rate(), o.max_write_rate / 4, 1.0);
+
+  // Sustained overload: multiplicative decrease reaches the floor but
+  // never parks the store below it.
+  for (int i = 0; i < 50; ++i) c.observe(s);
+  EXPECT_NEAR(c.write_rate(), o.min_write_rate, 1e-6);
+
+  // Drained: multiplicative recovery reopens to the ceiling.
+  s.wal_lag = 0;
+  for (int i = 0; i < 80; ++i) c.observe(s);
+  EXPECT_NEAR(c.write_rate(), o.max_write_rate, 1e-6);
+  EXPECT_FALSE(c.snapshot().shedding_writes);
+}
+
+TEST(AdmitLaw, CommitWaitSlopeActsBeforeTheTarget) {
+  admit::AdmitOptions o = law_opts();
+  o.commit_wait_p99_target_ns = 1000;
+  admit::AdmissionController c(o);
+  admit::Signals s;
+  s.commit_wait_p99_ns = 600;  // below target, but rising from 0
+  c.observe(s);
+  // Projected one step ahead (600 + 600 = 1200 > target): the law
+  // throttles on the slope, before the level crosses the target.
+  EXPECT_GT(c.severity(), 1.0);
+  // Flat at 600 afterwards: the projection collapses back to the level.
+  c.observe(s);
+  EXPECT_LT(c.severity(), 1.0);
+}
+
+TEST(AdmitLaw, WritesShedBeforeReads) {
+  admit::AdmitOptions o = law_opts();
+  o.wal_lag_target = 1;
+  o.shed_write_severity = 2.0;
+  o.shed_read_severity = 8.0;
+  admit::AdmissionController c(o);
+
+  admit::Signals s;
+  s.wal_lag = 4;  // severity 4: writes shed, reads still flow
+  c.observe(s);
+  EXPECT_FALSE(c.admit_write());
+  EXPECT_TRUE(c.admit_read());
+
+  s.wal_lag = 16;  // severity 16: the store is drowning, reads shed too
+  c.observe(s);
+  EXPECT_FALSE(c.admit_read());
+  const admit::AdmitSnapshot snap = c.snapshot();
+  EXPECT_TRUE(snap.shedding_writes);
+  EXPECT_TRUE(snap.shedding_reads);
+  EXPECT_GE(snap.shed_writes, 1u);
+  EXPECT_GE(snap.shed_reads, 1u);
+
+  s.wal_lag = 0;  // drained: both gates reopen
+  c.observe(s);
+  EXPECT_TRUE(c.admit_write());
+  EXPECT_TRUE(c.admit_read());
+}
+
+TEST(AdmitBucket, TokenBucketBoundsBurstAndRefills) {
+  admit::AdmitOptions o = law_opts();
+  o.max_write_rate = 1000;
+  o.burst_seconds = 0.1;  // bucket capacity: 100 tokens
+  o.max_wait_us = 0;      // dry bucket refuses immediately (no wall clock)
+  admit::AdmissionController c(o);
+
+  EXPECT_TRUE(c.admit_write(60));
+  EXPECT_TRUE(c.admit_write(40));  // exactly drains the bucket
+  EXPECT_FALSE(c.admit_write(1));  // dry: refused and counted
+  EXPECT_GE(c.snapshot().throttle_waits, 1u);
+  EXPECT_GE(c.snapshot().shed_writes, 1u);
+
+  c.refill(0.05);  // +50 tokens at 1000 ops/s
+  EXPECT_TRUE(c.admit_write(50));
+  EXPECT_FALSE(c.admit_write(1));
+
+  c.refill(10.0);  // clamps at the 100-token cap, not 10000
+  EXPECT_EQ(c.tokens(), 100);
+  // An over-bucket batch costs the whole bucket but is never
+  // permanently unadmittable.
+  EXPECT_TRUE(c.admit_write(100000));
+  EXPECT_EQ(c.tokens(), 0);
+}
+
+kv::KvConfig store_cfg() {
+  kv::KvConfig cfg;
+  cfg.shards = 2;
+  cfg.buckets_per_shard = 64;
+  cfg.tracker.max_threads = 2;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  return cfg;
+}
+
+TEST(AdmitStore, DisabledIsANullObject) {
+  Store store(store_cfg());
+  EXPECT_EQ(store.admission(), nullptr);
+  store.put(1, 10, 0);
+  EXPECT_EQ(store.get(1, 0), std::optional<std::uint64_t>(10));
+  EXPECT_FALSE(store.stats().admit_enabled);
+  EXPECT_EQ(store.stats().admit_shed_writes, 0u);
+}
+
+TEST(AdmitStore, DryBucketShedsWritesButNeverReads) {
+  kv::KvConfig cfg = store_cfg();
+  cfg.admission.enabled = true;
+  cfg.admission.max_write_rate = 1;  // one token, refilled at 1 op/s
+  cfg.admission.burst_seconds = 1e-4;
+  cfg.admission.max_wait_us = 0;
+  Store store(cfg);
+  ASSERT_NE(store.admission(), nullptr);
+  EXPECT_TRUE(store.stats().admit_enabled);
+
+  store.put(1, 10, 0);  // takes the only token
+  bool shed = false;
+  try {
+    for (int i = 0; i < 100; ++i) store.put(2, 2, 0);
+  } catch (const kv::Overloaded& o) {
+    shed = true;
+    EXPECT_TRUE(o.write);
+  }
+  EXPECT_TRUE(shed) << "a 1-token bucket admitted 100 writes";
+
+  // Reads are never token-gated: they keep flowing while writes shed.
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(store.get(1, 0), std::optional<std::uint64_t>(10));
+  const kv::KvStats st = store.stats();
+  EXPECT_GE(st.admit_shed_writes, 1u);
+  EXPECT_EQ(st.admit_shed_reads, 0u);
+}
+
+TEST(AdmitStore, GenerousLimitsAdmitEverything) {
+  kv::KvConfig cfg = store_cfg();
+  cfg.admission.enabled = true;
+  cfg.admission.max_write_rate = 1e12;
+  cfg.admission.wal_lag_target = 1e12;
+  cfg.admission.retire_backlog_target = 1e12;
+  cfg.admission.commit_wait_p99_target_ns = 1e15;
+  Store store(cfg);
+
+  // Single ops, multi ops and txn commits all pass the gates.
+  for (std::uint64_t i = 1; i <= 2000; ++i) store.put(i, i, 0);
+  std::uint64_t keys[4] = {1, 2, 3, 4};
+  std::optional<std::uint64_t> out[4];
+  store.multi_get(keys, 4, out, 0);
+  EXPECT_EQ(out[0], std::optional<std::uint64_t>(1));
+  std::pair<std::uint64_t, std::uint64_t> puts[4] = {
+      {1, 11}, {2, 22}, {3, 33}, {4, 44}};
+  store.multi_put(puts, 4, 0);
+  txn::Txn<std::uint64_t, std::uint64_t> t;
+  t.put(5, 55);
+  t.remove(6);
+  store.txn_commit(t, 0);
+  EXPECT_EQ(store.get(5, 0), std::optional<std::uint64_t>(55));
+
+  const kv::KvStats st = store.stats();
+  EXPECT_EQ(st.admit_shed_writes, 0u);
+  EXPECT_EQ(st.admit_shed_reads, 0u);
+  EXPECT_GT(st.admit_write_rate, 0.0);
+}
+
+}  // namespace

@@ -35,6 +35,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -167,6 +168,20 @@ kv::KvConfig oracle_cfg() {
   c.tracker.era_freq = 8;
   c.tracker.cleanup_freq = 4;
   c.tracker.retire_batch = 4;
+  // WFE_TEST_ADMIT=1 runs the whole oracle with the admission
+  // controller live (fast driver ticks, limits so generous nothing is
+  // ever shed): the sanitizer jobs then race gate_read/gate_write and
+  // the driver against every op shape, exercising the controller's
+  // concurrency rather than its control law.
+  if (std::getenv("WFE_TEST_ADMIT") != nullptr) {
+    c.admission.enabled = true;
+    c.admission.max_write_rate = 1e12;
+    c.admission.wal_lag_target = 1e12;
+    c.admission.retire_backlog_target = 1e12;
+    c.admission.commit_wait_p99_target_ns = 1e15;
+    c.metrics.sample_interval_ms = 5;
+    c.admission.tick_ms = 2;
+  }
   return c;
 }
 

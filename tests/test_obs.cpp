@@ -462,6 +462,34 @@ TEST(ObsRegistry, SamplerFillsRing) {
   EXPECT_EQ(sampler.latest().at_ns, hist.back().at_ns);
 }
 
+// Regression: the sampler must hold an absolute cadence.  The old loop
+// waited a RELATIVE interval after each snapshot, so the real period
+// was interval + collector cost and the ring's time series drifted —
+// with a 30ms collector on a 40ms interval it ticked every ~70ms,
+// starving anything pacing off the ring (the admission controller's
+// trend terms).  Absolute deadlines keep the period at ~interval as
+// long as the snapshot fits inside it.
+TEST(ObsRegistry, SamplerHoldsCadenceUnderSlowCollector) {
+  obs::MetricsRegistry reg;
+  reg.add_collector([](std::vector<obs::GaugeValue>& out) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    out.push_back({"slow_gauge", 1.0});
+  });
+  obs::Sampler sampler(reg, /*interval_ms=*/40, /*capacity=*/64);
+  sampler.start();
+  ASSERT_TRUE(wait_for_samples(sampler, 8, 10000));
+  sampler.stop();
+  const auto hist = sampler.history();
+  ASSERT_GE(hist.size(), 8u);
+  const double span_ms =
+      static_cast<double>(hist.back().at_ns - hist.front().at_ns) / 1e6;
+  const double period_ms = span_ms / static_cast<double>(hist.size() - 1);
+  // Generous bound for loaded sanitizer hosts; the old relative-wait
+  // loop cannot beat interval + collector cost (~70ms) even unloaded.
+  EXPECT_LT(period_ms, 55.0)
+      << "sampler cadence drifted to " << period_ms << " ms per tick";
+}
+
 // ---------------------------------------------------------------------
 // KvStats durable-lag aggregation (the fixed satellite)
 // ---------------------------------------------------------------------

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <map>
 #include <optional>
@@ -36,6 +37,7 @@
 #include "harness/runner.hpp"
 #include "kv/kv_store.hpp"
 #include "kv_balance.hpp"
+#include "scratch_dir.hpp"
 #include "tracker_types.hpp"
 #include "txn/txn.hpp"
 #include "util/random.hpp"
@@ -77,6 +79,21 @@ kv::KvConfig stress_cfg(const std::string& dir) {
   c.persistence.sync = persist::SyncMode::kBatched;
   c.persistence.flush_idle_us = 100;
   c.persistence.snapshot_on_open = false;  // final state stays comparable
+  if (const char* e = std::getenv("WFE_TEST_ADMIT");
+      e != nullptr && *e != '\0' && *e != '0') {
+    // Sanitizer knob: run the whole stress with the admission controller
+    // live (sampler + driver threads, per-op gates, token bucket) but
+    // with targets so high nothing ever sheds — this exercises the
+    // controller's concurrency, not its law, so every op still succeeds
+    // and the ledger checks stay exact.
+    c.admission.enabled = true;
+    c.admission.max_write_rate = 1e12;
+    c.admission.wal_lag_target = 1e12;
+    c.admission.retire_backlog_target = 1e12;
+    c.admission.commit_wait_p99_target_ns = 1e15;
+    c.metrics.sample_interval_ms = 5;
+    c.admission.tick_ms = 2;
+  }
   return c;
 }
 
@@ -192,9 +209,10 @@ void writer_loop(Store<TR>& store, unsigned tid, unsigned ops,
 template <class TR>
 void run_stress() {
   const unsigned ops = env_unsigned("WFE_TEST_OPS", 6000);
-  char tmpl[] = "/tmp/wfe_persist_XXXXXX";
-  const std::string root = ::mkdtemp(tmpl);
-  const std::string dir = root + "/wal";
+  // ScratchDir honors $TMPDIR and removes the tree even when an ASSERT
+  // bails out of this function early (the old mkdtemp leaked it then).
+  test::ScratchDir scratch("persist");
+  const std::string dir = scratch.path() + "/wal";
 
   std::vector<std::map<std::uint64_t, std::uint64_t>> expected(kWriters);
   std::uint64_t pinned_final = 0;
@@ -297,8 +315,6 @@ void run_stress() {
     want[kPinnedKey] = pinned_final;
     ASSERT_EQ(got, want) << "reopened store diverged from the ledgers";
   }
-  std::error_code ec;
-  std::filesystem::remove_all(root, ec);
 }
 
 template <class TR>

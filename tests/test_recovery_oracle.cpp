@@ -68,6 +68,7 @@
 #include "kv/kv_store.hpp"
 #include "persist/recovery.hpp"
 #include "reclaim/hp.hpp"
+#include "scratch_dir.hpp"
 #include "txn/txn.hpp"
 #include "util/random.hpp"
 
@@ -407,15 +408,16 @@ void run_kill_point(unsigned kill, const std::string& dir) {
 template <class TR>
 void run_oracle(const char* tag, unsigned kills) {
   // WFE_RECOVERY_DIR pins the scratch root (CI uploads it on failure);
-  // default is a throwaway mkdtemp.
+  // default is a throwaway mkdtemp under $TMPDIR.  No RAII here: on a
+  // fatal failure the mangled WAL state is deliberately left behind.
   const char* pinned = std::getenv("WFE_RECOVERY_DIR");
   std::string root;
   if (pinned != nullptr) {
     root = pinned;
     std::filesystem::create_directories(root);
   } else {
-    char tmpl[] = "/tmp/wfe_recovery_XXXXXX";
-    root = ::mkdtemp(tmpl);
+    std::string tmpl = test::scratch_root() + "/wfe_recovery_XXXXXX";
+    root = ::mkdtemp(tmpl.data());
   }
   // WFE_TEST_KILL_START replays a failing kill point in isolation.
   const unsigned start = env_unsigned("WFE_TEST_KILL_START", 0);
@@ -428,7 +430,7 @@ void run_oracle(const char* tag, unsigned kills) {
       return;
     }
   }
-  if (pinned == nullptr) {
+  if (pinned == nullptr && !test::ScratchDir::keep()) {
     std::error_code ec;
     std::filesystem::remove_all(root, ec);
   }

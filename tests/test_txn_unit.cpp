@@ -23,6 +23,7 @@
 #include "persist/recovery.hpp"
 #include "persist/snapshot.hpp"
 #include "persist/wal.hpp"
+#include "scratch_dir.hpp"
 #include "tracker_types.hpp"
 #include "txn/txn.hpp"
 #include "util/random.hpp"
@@ -33,16 +34,11 @@ using namespace wfe;
 using persist::Record;
 using persist::RecordType;
 
+// $TMPDIR-honoring scratch, removed even when a test fails (see
+// scratch_dir.hpp; WFE_KEEP_SCRATCH=1 keeps it for upload).
 struct TempDir {
-  std::string path;
-  TempDir() {
-    char tmpl[] = "/tmp/wfe_txn_XXXXXX";
-    path = ::mkdtemp(tmpl);
-  }
-  ~TempDir() {
-    std::error_code ec;
-    std::filesystem::remove_all(path, ec);
-  }
+  test::ScratchDir sd{"txn"};
+  std::string path = sd.path();
 };
 
 std::string write_raw(const std::string& dir, const std::string& name,

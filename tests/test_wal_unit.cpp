@@ -5,21 +5,26 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
 
 #include "kv/batch_retire.hpp"
+#include "obs/trace.hpp"
 #include "persist/group_commit.hpp"
 #include "persist/recovery.hpp"
 #include "persist/snapshot.hpp"
 #include "persist/wal.hpp"
 #include "reclaim/ebr.hpp"
+#include "scratch_dir.hpp"
 #include "tracker_types.hpp"
 
 namespace {
@@ -28,16 +33,11 @@ using namespace wfe;
 using persist::Record;
 using persist::RecordType;
 
+// $TMPDIR-honoring scratch, removed even when a test fails (see
+// scratch_dir.hpp; WFE_KEEP_SCRATCH=1 keeps it for upload).
 struct TempDir {
-  std::string path;
-  TempDir() {
-    char tmpl[] = "/tmp/wfe_wal_XXXXXX";
-    path = ::mkdtemp(tmpl);
-  }
-  ~TempDir() {
-    std::error_code ec;
-    std::filesystem::remove_all(path, ec);
-  }
+  test::ScratchDir sd{"wal"};
+  std::string path = sd.path();
 };
 
 /// Appends raw records (valid encoding) to a file, returning the path.
@@ -256,6 +256,43 @@ TEST(WalWriter, RotationAndTruncationDropWholeSegments) {
   ASSERT_EQ(got.size(), 30u);
   EXPECT_EQ(got.front().lsn, 51u);
   EXPECT_EQ(got.back().lsn, 80u);
+}
+
+// Regression for the unbounded-stall fix: an appender blocked on a full
+// ring (flusher parked) must make bounded progress once the flusher
+// runs again, count the episode, and push a first-class trace event —
+// not just spin on bare yields leaving no observable record.
+TEST(WalWriter, BackpressureMakesBoundedProgressAndTracesEpisodes) {
+  TempDir td;
+  persist::Options opts;
+  opts.sync = persist::SyncMode::kBatched;
+  opts.ring_capacity = 8;  // tiny ring: backpressure within a few appends
+  obs::TraceRing trace(64);
+  persist::ShardWal wal(td.path, 1, 0, opts);
+  wal.set_metrics(nullptr, nullptr, &trace, 0);
+  wal.suppress_flush(true);  // park the flusher so the ring truly fills
+  for (std::uint64_t i = 1; i <= 8; ++i) wal.append(RecordType::kPut, i, i);
+  std::atomic<bool> done{false};
+  std::thread appender([&] {
+    wal.append(RecordType::kPut, 9, 9);  // 9th record: no ring slot free
+    done.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(done.load(std::memory_order_acquire))
+      << "append got a slot while the flusher was parked — the ring "
+         "never filled and this test exercised nothing";
+  wal.suppress_flush(false);
+  appender.join();  // a hang here (ctest timeout) IS the regression
+  EXPECT_TRUE(done.load(std::memory_order_acquire));
+  EXPECT_GE(wal.backpressure_waits(), 1u);
+  wal.flush_now();
+  EXPECT_EQ(wal.durable_lsn(), 9u);
+  bool traced = false;
+  for (const obs::TraceEvent& e : trace.snapshot())
+    if (e.op == obs::OpKind::kWalAppend &&
+        e.cause == obs::TraceCause::kWalBackpressure)
+      traced = true;
+  EXPECT_TRUE(traced) << "backpressure episode missing from the trace ring";
 }
 
 TEST(Snapshot, RoundTripAndCrcRejection) {

@@ -6,8 +6,16 @@ Usage:
 
     --out FILE        trajectory output (default BENCH_trajectory.json)
     --threshold X     allowed within-run ratio degradation (default 0.08)
+    --sat-threshold X allowed goodput droop past the knee   (default 0.10)
+    --expect-modes M  comma list of modes each file MUST contain
+                      (e.g. "saturation"); missing modes are a
+                      malformed-input error, not a silent pass
     --warn-only       report regressions but always exit 0
     --no-trajectory   gate only, do not rewrite the trajectory file
+
+Exit codes: 0 = clean, 1 = regression findings, 2 = malformed input
+(unreadable file, missing column, missing expected mode) — distinct so
+CI can tell "the numbers are bad" from "the harness is broken".
 
 Why within-run ratios and not cross-PR absolutes: the committed bench
 files come from whatever host each PR happened to run on (the current
@@ -26,6 +34,14 @@ host seconds apart, where the methodology noise mostly cancels:
     beyond threshold means migration left the table structurally worse.
   * persist rows: wal_durable_lag must be 0 when sync=always (a
     correctness property of the durable gate, not a perf number).
+  * saturation rows (per tracker x thread-count group): the admission
+    acceptance gate.  Controller-ON goodput at >=2x the measured
+    capacity must hold within --sat-threshold of that group's own peak
+    (overload must not collapse admitted work), it must beat the
+    controller-OFF goodput at the same offered load, and the OFF curve
+    must actually collapse (drop below half its peak) — otherwise the
+    sweep never drove the store into the regime the controller exists
+    for and the row proves nothing.
 
 The trajectory file keeps a compact per-PR summary (medians per mode)
 so the numbers remain inspectable over time without re-parsing every
@@ -39,12 +55,37 @@ import statistics
 import sys
 
 
+class MalformedInput(Exception):
+    """A bench file the gate cannot judge: name exactly what is missing."""
+
+
+def need(row, key, path, mode):
+    if key not in row:
+        raise MalformedInput(
+            "%s: %s row (tracker=%s threads=%s) is missing column %r"
+            % (path, mode, row.get("tracker", "?"), row.get("threads", "?"),
+               key))
+    return row[key]
+
+
 def load_rows(path):
-    with open(path) as f:
-        doc = json.load(f)
-    rows = doc["results"] if isinstance(doc, dict) else doc
-    meta = {k: v for k, v in doc.items() if k != "results"} if isinstance(
-        doc, dict) else {}
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise MalformedInput("%s: unreadable (%s)" % (path, e))
+    except json.JSONDecodeError as e:
+        raise MalformedInput("%s: not valid JSON (%s)" % (path, e))
+    if isinstance(doc, dict):
+        if "results" not in doc:
+            raise MalformedInput("%s: no 'results' array" % path)
+        rows, meta = doc["results"], {
+            k: v for k, v in doc.items() if k != "results"
+        }
+    else:
+        rows, meta = doc, {}
+    if not isinstance(rows, list):
+        raise MalformedInput("%s: 'results' is not an array" % path)
     return meta, [r for r in rows if isinstance(r, dict)]
 
 
@@ -61,7 +102,11 @@ def summarize(path, meta, rows):
     for mode, rs in sorted(by_mode.items()):
         s = {"rows": len(rs)}
         if mode in ("op", "persist"):
-            s["median_mops"] = median([r["mops"] for r in rs if "mops" in r])
+            # Every op/persist row must carry the headline series; a row
+            # without it is a truncated or hand-mangled file, not a
+            # slower build.
+            s["median_mops"] = median(
+                [float(need(r, "mops", path, mode)) for r in rs])
             p99s = [r["get_p99_ns"] for r in rs if r.get("get_p99_ns")]
             if p99s:
                 s["median_get_p99_ns"] = median(p99s)
@@ -75,14 +120,88 @@ def summarize(path, meta, rows):
                 s["median_post_fresh_ratio"] = round(median(ratios), 4)
         if mode == "obs_overhead":
             s["median_on_off_ratio"] = round(
-                median([r["on_off_ratio"] for r in rs]), 4)
+                median([r["on_off_ratio"] for r in rs if "on_off_ratio" in r])
+                or 0, 4)
             s["median_aa_ratio"] = round(
-                median([r["aa_ratio"] for r in rs]), 4)
+                median([r["aa_ratio"] for r in rs if "aa_ratio" in r]) or 0, 4)
+        if mode == "saturation":
+            for ctrl in ("on", "off"):
+                good = [
+                    r["goodput_mops"]
+                    for r in rs
+                    if r.get("controller") == ctrl and "goodput_mops" in r
+                ]
+                if good:
+                    s["peak_goodput_%s" % ctrl] = round(max(good), 4)
         out["modes"][mode] = s
     return out
 
 
-def check(path, rows, threshold):
+def check_saturation(path, rows, sat_threshold):
+    """The admission acceptance gate (see module docstring)."""
+    findings = []
+    groups = {}
+    for r in rows:
+        key = (r.get("tracker", "?"), r.get("threads", "?"))
+        groups.setdefault(key, {"on": [], "off": []})
+        ctrl = need(r, "controller", path, "saturation")
+        if ctrl not in ("on", "off"):
+            raise MalformedInput(
+                "%s: saturation row has controller=%r (want 'on'/'off')"
+                % (path, ctrl))
+        groups[key][ctrl].append(r)
+    for (tracker, threads), g in sorted(groups.items()):
+        where = "%s %s t=%s" % (path, tracker, threads)
+
+        def goodput(r):
+            return float(need(r, "goodput_mops", path, "saturation"))
+
+        def ratio(r):
+            return float(need(r, "offered_ratio", path, "saturation"))
+
+        on_high = [r for r in g["on"] if ratio(r) >= 2.0]
+        if g["on"] and not on_high:
+            findings.append(
+                "%s: no controller-on saturation rows at >=2x capacity "
+                "(max offered_ratio=%.2f) — the ramp never reached the "
+                "overload regime the gate judges"
+                % (where, max(ratio(r) for r in g["on"])))
+        if on_high:
+            # Peak over the at-capacity-and-beyond rows only: below the
+            # knee nothing sheds, so goodput there just echoes offered
+            # load — it measures the ramp, not the controller.
+            peak = max(goodput(r) for r in g["on"] if ratio(r) >= 1.0)
+            hold = min(goodput(r) for r in on_high)
+            if hold < (1.0 - sat_threshold) * peak:
+                findings.append(
+                    "%s: controller-on goodput collapses past the knee "
+                    "(%.3f Mops at >=2x capacity vs peak %.3f, budget %.0f%%)"
+                    % (where, hold, peak, sat_threshold * 100))
+        off_high = [r for r in g["off"] if ratio(r) >= 2.0]
+        if off_high:
+            off_peak = max(goodput(r) for r in g["off"])
+            off_hold = min(goodput(r) for r in off_high)
+            if off_hold > 0.5 * off_peak:
+                findings.append(
+                    "%s: controller-off goodput did NOT collapse under "
+                    "overload (%.3f Mops at >=2x capacity vs peak %.3f) — "
+                    "the sweep is not exercising the failure mode"
+                    % (where, off_hold, off_peak))
+            # Paired on-vs-off at the same offered load: admission must
+            # win wherever the store is actually overloaded.
+            off_by_ratio = {round(ratio(r), 3): r for r in off_high}
+            for r in on_high:
+                off_r = off_by_ratio.get(round(ratio(r), 3))
+                if off_r is not None and goodput(r) < goodput(off_r):
+                    findings.append(
+                        "%s: controller-on goodput %.3f below controller-off "
+                        "%.3f at %.2fx capacity — admission is losing to "
+                        "no admission under overload"
+                        % (where, goodput(r), goodput(off_r), ratio(r)))
+    return findings
+
+
+def check(path, rows, threshold, sat_threshold):
     """Within-run regression checks; returns a list of findings.
 
     The ratio gates judge per-file MEDIANS, not individual rows: on a
@@ -91,15 +210,16 @@ def check(path, rows, threshold):
     it.  The durable-lag check is exact and stays per-row.
     """
     findings = []
-    on_off, aa, post_fresh = [], [], []
+    on_off, aa, post_fresh, sat_rows = [], [], [], []
     for r in rows:
         mode = r.get("mode")
         if mode == "obs_overhead":
-            on_off.append(r["on_off_ratio"])
-            aa.append(r["aa_ratio"])
+            on_off.append(need(r, "on_off_ratio", path, mode))
+            aa.append(need(r, "aa_ratio", path, mode))
         elif mode == "resize":
             if r.get("fresh_mops"):
-                post_fresh.append(r["post_mops"] / r["fresh_mops"])
+                post_fresh.append(
+                    need(r, "post_mops", path, mode) / r["fresh_mops"])
         elif mode == "persist":
             if r.get("sync") == "always" and r.get("wal_durable_lag", 0) != 0:
                 findings.append(
@@ -107,6 +227,8 @@ def check(path, rows, threshold):
                     "every op returns only after its record is durable)"
                     % (path, r.get("tracker", "?"), r.get("threads"),
                        r["wal_durable_lag"]))
+        elif mode == "saturation":
+            sat_rows.append(r)
     if on_off:
         # Median on/off below the median A/A noise floor by more than the
         # budget: the metrics probes cost real throughput.
@@ -124,6 +246,8 @@ def check(path, rows, threshold):
                 "%s: post-resize tables %.1f%% slower than fresh tables of "
                 "the same shape (median post/fresh=%.3f)"
                 % (path, (1.0 - ratio) * 100, ratio))
+    if sat_rows:
+        findings.extend(check_saturation(path, sat_rows, sat_threshold))
     return findings
 
 
@@ -137,16 +261,31 @@ def main():
     ap.add_argument("files", nargs="+")
     ap.add_argument("--out", default="BENCH_trajectory.json")
     ap.add_argument("--threshold", type=float, default=0.08)
+    ap.add_argument("--sat-threshold", type=float, default=0.10)
+    ap.add_argument("--expect-modes", default="",
+                    help="comma list of modes every file must contain")
     ap.add_argument("--warn-only", action="store_true")
     ap.add_argument("--no-trajectory", action="store_true")
     args = ap.parse_args()
+    expected = [m for m in args.expect_modes.split(",") if m]
 
     trajectory = []
     findings = []
-    for path in sorted(args.files, key=pr_key):
-        meta, rows = load_rows(path)
-        trajectory.append(summarize(path, meta, rows))
-        findings.extend(check(path, rows, args.threshold))
+    try:
+        for path in sorted(args.files, key=pr_key):
+            meta, rows = load_rows(path)
+            present = {r.get("mode") or "op" for r in rows}
+            for m in expected:
+                if m not in present:
+                    raise MalformedInput(
+                        "%s: expected mode %r has no rows (modes present: %s)"
+                        % (path, m, ", ".join(sorted(present)) or "none"))
+            trajectory.append(summarize(path, meta, rows))
+            findings.extend(
+                check(path, rows, args.threshold, args.sat_threshold))
+    except MalformedInput as e:
+        print("MALFORMED INPUT: %s" % e, file=sys.stderr)
+        return 2
 
     if not args.no_trajectory:
         with open(args.out, "w") as f:
@@ -165,6 +304,9 @@ def main():
             if "median_on_off_ratio" in s:
                 line += " obs=%.3f(aa=%.3f)" % (s["median_on_off_ratio"],
                                                 s["median_aa_ratio"])
+            if "peak_goodput_on" in s:
+                line += " sat_on=%.2f/off=%.2f" % (
+                    s["peak_goodput_on"], s.get("peak_goodput_off", 0))
         print(line)
 
     if findings:
