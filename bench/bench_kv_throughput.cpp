@@ -574,6 +574,15 @@ void run_obs_overhead_one(const Params& pp, util::JsonWriter& j,
     cfg.tracker.retire_batch = pp.retire_batch;
     cfg.metrics.enabled = metrics_on;
     cfg.metrics.sampler = false;
+    if (metrics_on) {
+      // The A/A gate must price the FULL obs stack: flight recorder
+      // (explicit path — no persist dir here) and watchdog included.
+      // Heartbeats are episode-counter stores, traces only tee on slow
+      // ops, so "on" staying within budget is exactly the claim.
+      cfg.metrics.flight = true;
+      cfg.metrics.flight_path = "BENCH_flight.bin";
+      cfg.metrics.watchdog.enabled = true;
+    }
     auto store = std::make_unique<Store>(cfg);
     const std::uint64_t prefill = std::min(pp.prefill, pp.key_range);
     util::Xoshiro256 seed_rng(42);

@@ -50,6 +50,7 @@
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/backoff.hpp"
 
 namespace wfe::admit {
@@ -150,7 +151,7 @@ class AdmissionController {
     // Dry bucket: this op is now throttle-bound.  Tag the episode for
     // the slow-op trace, wait a bounded window on capped backoff for
     // the driver's refill, then give up and shed.
-    obs::tls_cause = obs::TraceCause::kAdmitThrottle;
+    obs::stall_note(obs::TraceCause::kAdmitThrottle);
     throttle_waits_.fetch_add(1, std::memory_order_relaxed);
     const std::uint64_t deadline_ns =
         obs::now_ns() + std::uint64_t{opt.max_wait_us} * 1000;
@@ -222,13 +223,16 @@ class AdmissionController {
 
   /// Start the tick loop: refill every tick_ms, and run observe() on
   /// every NEW snapshot the sampler ring produces (detected by its
-  /// capture timestamp).  `sampler` may be null (refill-only; tests).
-  void start(obs::Sampler* sampler) {
+  /// capture timestamp).  `sampler` may be null (refill-only; tests);
+  /// `watchdog` heartbeats the driver so a wedged tick is reported.
+  void start(obs::Sampler* sampler, obs::Watchdog* watchdog = nullptr) {
     std::lock_guard<std::mutex> lk(mu_);
     if (running_) return;
     stop_ = false;
     running_ = true;
-    thread_ = std::thread([this, sampler] { loop(sampler); });
+    thread_ = std::thread([this, sampler, watchdog] {
+      loop(sampler, watchdog);
+    });
   }
 
   void stop() {
@@ -302,15 +306,20 @@ class AdmissionController {
     return false;
   }
 
-  void loop(obs::Sampler* sampler) {
+  void loop(obs::Sampler* sampler, obs::Watchdog* watchdog) {
     const auto tick = std::chrono::milliseconds(opt.tick_ms);
     auto last = std::chrono::steady_clock::now();
     auto next = last + tick;
     std::uint64_t seen_at_ns = 0;
+    const std::size_t hb =
+        watchdog != nullptr ? watchdog->acquire_slot() : obs::kNoSlot;
     std::unique_lock<std::mutex> lk(mu_);
     while (!stop_) {
       if (cv_.wait_until(lk, next, [this] { return stop_; })) break;
       lk.unlock();
+      // Armed across the tick body only (never across the cv wait):
+      // a driver wedged in refill/observe reports as admit-driver.
+      if (hb != obs::kNoSlot) watchdog->arm(hb, obs::Site::kAdmitDriver);
       const auto now = std::chrono::steady_clock::now();
       refill(std::chrono::duration<double>(now - last).count());
       last = now;
@@ -323,8 +332,10 @@ class AdmissionController {
           observe(extract(s));
         }
       }
+      if (hb != obs::kNoSlot) watchdog->disarm(hb);
       lk.lock();
     }
+    if (hb != obs::kNoSlot) watchdog->release_slot(hb);
   }
 
   // Hot-path state.

@@ -239,6 +239,15 @@ class KvStore {
       grow_ticks_[t] = 0;
       snap_ticks_[t] = 0;
     }
+    if (cfg_.metrics.flight && cfg_.metrics.flight_path.empty()) {
+      // The black box lives next to the WAL by default; a store with no
+      // persist dir has nowhere durable to put one, so flight quietly
+      // degrades off rather than scattering files in the cwd.
+      if (cfg_.persistence.enabled && !cfg_.persistence.dir.empty())
+        cfg_.metrics.flight_path = cfg_.persistence.dir + "/flight.bin";
+      else
+        cfg_.metrics.flight = false;
+    }
     if (cfg_.metrics.enabled) {
       // Before any table exists: make_table/open_persistent attach the
       // WAL and slow-path probes as streams and shards are built.
@@ -265,7 +274,8 @@ class KvStore {
       // After recovery replay (which must never be throttled) and after
       // the sampler, so the controller's first observation is real.
       admit_ = std::make_unique<admit::AdmissionController>(cfg_.admission);
-      admit_->start(metrics_ ? metrics_->sampler() : nullptr);
+      admit_->start(metrics_ ? metrics_->sampler() : nullptr,
+                    metrics_ ? metrics_->watchdog() : nullptr);
     }
   }
 
@@ -281,6 +291,7 @@ class KvStore {
 
   std::optional<V> get(const K& key, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_read();
     std::optional<V> out;
     {
@@ -301,6 +312,7 @@ class KvStore {
   /// keys); true when the key was absent.
   bool put(const K& key, const V& value, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write();
     bool was_absent = false;
     {
@@ -323,6 +335,7 @@ class KvStore {
   /// "was absent" answer accumulates across forwarded tables.
   bool put_copy(const K& key, const V& value, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write();
     bool saw_present = false;
     {
@@ -341,6 +354,7 @@ class KvStore {
   /// Insert-if-absent; false (no write) when present.
   bool insert(const K& key, const V& value, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write();
     bool inserted = false;
     {
@@ -360,6 +374,7 @@ class KvStore {
   /// Replace-if-present; false (no write) when absent.
   bool update(const K& key, const V& value, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write();
     bool updated = false;
     {
@@ -375,6 +390,7 @@ class KvStore {
 
   std::optional<V> remove(const K& key, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write();
     std::optional<V> out;
     {
@@ -405,6 +421,7 @@ class KvStore {
                  unsigned tid) {
     if (n == 0) return;
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_read();
     {
       TableGuard g(*this, tid);
@@ -452,6 +469,7 @@ class KvStore {
                         unsigned tid) {
     if (n == 0) return 0;
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write(n);
     std::size_t inserted = 0;
     {
@@ -504,6 +522,7 @@ class KvStore {
                            unsigned tid) {
     if (n == 0) return 0;
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write(n);
     std::size_t removed = 0;
     {
@@ -563,6 +582,7 @@ class KvStore {
     const auto& tops = txn.ops();
     if (tops.empty()) return 0;
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write(tops.size());
     const std::uint64_t id = 1 + txn_seq_.fetch_add(1, std::memory_order_relaxed);
     std::uint64_t total_pairs = 0;
@@ -642,6 +662,7 @@ class KvStore {
   /// mismatch.
   bool cas(const K& key, const V& expected, const V& desired, unsigned tid) {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write();
     bool swapped = false;
     {
@@ -861,6 +882,17 @@ class KvStore {
   obs::KvMetrics* metrics() noexcept { return metrics_.get(); }
   const obs::KvMetrics* metrics() const noexcept { return metrics_.get(); }
 
+  /// The flight recorder (black box), null unless metrics.flight is on
+  /// and the box opened.
+  obs::FlightRecorder* flight() noexcept {
+    return metrics_ ? metrics_->flight() : nullptr;
+  }
+
+  /// The liveness watchdog, null unless metrics.watchdog.enabled.
+  obs::Watchdog* watchdog() noexcept {
+    return metrics_ ? metrics_->watchdog() : nullptr;
+  }
+
   // ---- admission control (src/admit/; null when admission is off) ----
 
   admit::AdmissionController* admission() noexcept { return admit_.get(); }
@@ -982,7 +1014,14 @@ class KvStore {
     if (!metrics_) return;
     wal.set_metrics(&metrics_->wal_fsync, &metrics_->wal_commit_wait,
                     &metrics_->trace,
-                    static_cast<unsigned>(shard) % cfg_.tracker.max_threads);
+                    static_cast<unsigned>(shard) % cfg_.tracker.max_threads,
+                    metrics_->watchdog());
+  }
+
+  /// The watchdog (null when disabled): kv op entry points arm their
+  /// reserved heartbeat slot (index == tid) through this.
+  obs::Watchdog* wd() noexcept {
+    return metrics_ ? metrics_->watchdog() : nullptr;
   }
 
   /// WFE-family trackers expose a slow-path latency probe; other
@@ -1043,6 +1082,20 @@ class KvStore {
     g("kv_txn_ops_total", t.txn_ops);
     g("kv_txn_commits_total", st.txn_commits);
     g("kv_approx_size", approx_size());
+    if (metrics_) {
+      // Trace-loss accounting: how much of the event stream attribution
+      // is NOT seeing (lapped slots + snapshot-torn skips).
+      g("trace_events_overwritten",
+        static_cast<double>(metrics_->trace.overwritten()));
+      g("trace_snapshot_torn",
+        static_cast<double>(metrics_->trace.snapshot_torn()));
+      if (const obs::Watchdog* w = metrics_->watchdog(); w != nullptr)
+        g("watchdog_stalls_total", static_cast<double>(w->stalls_detected()));
+      if (const obs::FlightRecorder* fl = metrics_->flight(); fl != nullptr) {
+        g("flight_frames_total", static_cast<double>(fl->frames_recorded()));
+        g("flight_dropped_total", static_cast<double>(fl->frames_dropped()));
+      }
+    }
     if (st.admit_enabled) {
       g("kv_admit_write_rate", st.admit_write_rate);
       g("kv_admit_severity", st.admit_severity);
@@ -1119,8 +1172,12 @@ class KvStore {
     auto& flag = t.migrated[s][b];
     if (flag.load(std::memory_order_acquire) != 0) return;
     // This op is now migration-bound; if we end up winning the claim,
-    // migrate_bucket upgrades the tag to help-migration.
-    if (metrics_) obs::tls_cause = obs::TraceCause::kFrozenWait;
+    // migrate_bucket upgrades the tag to help-migration.  stall_note
+    // also lands in the heartbeat slot, so a watchdog report on this
+    // thread names the frozen shard.
+    if (metrics_)
+      obs::stall_note(obs::TraceCause::kFrozenWait,
+                      static_cast<std::uint32_t>(s));
     util::Backoff backoff;
     bool conflicted = false;
     for (;;) {
@@ -1199,7 +1256,8 @@ class KvStore {
       // carrying op as having done migration work.
       metrics_->migrate_bucket.record_owned(
           obs::ticks_to_ns(obs::now_ticks() - mt0), tid);
-      obs::tls_cause = obs::TraceCause::kHelpMigration;
+      obs::stall_note(obs::TraceCause::kHelpMigration,
+                      static_cast<std::uint32_t>(s));
     }
     return true;
   }
@@ -1236,6 +1294,11 @@ class KvStore {
   bool resize_locked(std::size_t want, unsigned tid) {
     Table* src = table_.load(std::memory_order_acquire);
     if (src->mask + 1 == want) return false;
+    // The resize driver is its own watchdog site: a wedged migration
+    // (parked hook, stuck freeze, helper deadlock) reports as
+    // resize-driver with the shard the cursor was on, nested inside
+    // whatever op drove it (BeatScope restores the outer kKvOp site).
+    obs::BeatScope hb(wd(), tid, obs::Site::kResizeDriver, 0);
     // The geometry change is announced DURABLY before the destination
     // epoch's streams exist: recovery that finds epoch e+1 files can
     // rely on having seen this record, and recovery that finds only the
@@ -1270,6 +1333,7 @@ class KvStore {
     if (freeze_all) freeze_to(total);
     if (resize_park_hook_) resize_park_hook_();
     for (std::size_t m = 0; m < total; ++m) {
+      obs::beat_shard(static_cast<std::uint32_t>(m / src->buckets));
       freeze_to(std::min(total, m + ahead));
       migrate_bucket(*src, m / src->buckets, m % src->buckets, tid,
                      /*helper=*/false);

@@ -9,8 +9,10 @@
 // as an auxiliary `<name>_max` gauge (the one tail statistic a summary
 // cannot recover).
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -32,6 +34,7 @@ inline void to_json(util::JsonWriter& j, const RegistrySnapshot& s) {
     j.begin_object();
     j.kv("name", h.name.c_str());
     j.kv("count", h.count);
+    j.kv("sum_ns", h.sum_ns);
     j.kv("mean_ns", h.mean_ns);
     j.kv("p50_ns", h.p50_ns);
     j.kv("p90_ns", h.p90_ns);
@@ -56,6 +59,7 @@ inline void to_json(util::JsonWriter& j, const std::vector<TraceEvent>& evs) {
     j.kv("shard", static_cast<std::uint64_t>(e.shard));
     j.kv("ns", e.ns);
     j.kv("cause", name(e.cause));
+    j.kv("aux", static_cast<std::uint64_t>(e.aux));
     j.end_object();
   }
   j.end_array();
@@ -78,6 +82,9 @@ inline std::string to_prometheus(const RegistrySnapshot& s) {
   };
   for (const HistogramSummary& h : s.histograms) {
     const char* n = h.name.c_str();
+    std::snprintf(buf, sizeof buf,
+                  "# HELP %s latency summary in nanoseconds\n", n);
+    out += buf;
     std::snprintf(buf, sizeof buf, "# TYPE %s summary\n", n);
     out += buf;
     const std::pair<const char*, std::uint64_t> qs[] = {
@@ -88,15 +95,24 @@ inline std::string to_prometheus(const RegistrySnapshot& s) {
                     static_cast<unsigned long long>(v));
       out += buf;
     }
-    emit_u64("%s_sum %llu\n", n,
-             static_cast<std::uint64_t>(h.mean_ns *
-                                        static_cast<double>(h.count)));
+    // Exact accumulated sum (the registry carries it through), not the
+    // old mean*count round-trip whose double rounding dropped units.
+    // Integer text is a valid Prometheus float literal with no added
+    // precision loss.
+    emit_u64("%s_sum %llu\n", n, h.sum_ns);
     emit_u64("%s_count %llu\n", n, h.count);
+    std::snprintf(buf, sizeof buf,
+                  "# HELP %s_max maximum recorded latency in nanoseconds\n",
+                  n);
+    out += buf;
     std::snprintf(buf, sizeof buf, "# TYPE %s_max gauge\n", n);
     out += buf;
     emit_u64("%s_max %llu\n", n, h.max_ns);
   }
   for (const GaugeValue& g : s.gauges) {
+    std::snprintf(buf, sizeof buf, "# HELP %s kv store gauge\n",
+                  g.name.c_str());
+    out += buf;
     std::snprintf(buf, sizeof buf, "# TYPE %s gauge\n", g.name.c_str());
     out += buf;
     std::snprintf(buf, sizeof buf, "%s %.9g\n", g.name.c_str(), g.value);
@@ -109,13 +125,40 @@ inline std::string serialize(const RegistrySnapshot& s, ExportFormat fmt) {
   return fmt == ExportFormat::kJson ? to_json_string(s) : to_prometheus(s);
 }
 
+/// Crash-atomic dump: tmp + fdatasync + rename + directory fsync (the
+/// same discipline persist/snapshot.hpp uses), so a reader can never
+/// observe a torn metrics dump — it sees the old file or the new one.
 inline bool dump_to_file(const char* path, const std::string& text) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) return false;
-  const bool ok =
-      std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
-      std::fputc('\n', f) != EOF;
-  return std::fclose(f) == 0 && ok;
+  const std::string tmp = std::string(path) + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  const char nl = '\n';
+  std::size_t off = 0;
+  while (ok && off < text.size()) {
+    const ssize_t w = ::write(fd, text.data() + off, text.size() - off);
+    if (w <= 0) ok = false;
+    else off += static_cast<std::size_t>(w);
+  }
+  ok = ok && ::write(fd, &nl, 1) == 1;
+  ok = ok && ::fdatasync(fd) == 0;
+  ok = (::close(fd) == 0) && ok;
+  ok = ok && ::rename(tmp.c_str(), path) == 0;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Durable name: fsync the containing directory so the rename itself
+  // survives a crash (best effort — the content is already atomic).
+  std::string dir(path);
+  const std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
 }
 
 inline bool dump_to_fd(int fd, const std::string& text) {

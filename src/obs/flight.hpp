@@ -1,0 +1,391 @@
+#pragma once
+// Crash-surviving flight recorder: an mmap'd, CRC-framed ring file that
+// continuously receives every TraceRing event, each Sampler snapshot,
+// and every watchdog stall report — the black box the post-mortem reads
+// after a kill, when the in-memory obs layer has evaporated.
+//
+// Framing follows the WAL's discipline (src/persist/wal.hpp): every
+// frame carries a CRC32C over its own header+payload, a global 1-based
+// seq, and a timestamp; the reader accepts exactly the CRC-valid,
+// seq-contiguous suffix and treats everything at the write head as a
+// torn tail.  Frames are 32-byte aligned and never straddle the ring
+// end (a PAD frame fills the remainder), so the reader can probe for
+// the oldest intact frame at 32-byte steps starting from the head
+// hint — stale bytes from a previous lap fail either the CRC or the
+// seq-contiguity walk.
+//
+// The file is plain write-through mmap: on a process kill the dirty
+// pages survive in the page cache, so the box is readable without the
+// recorder ever fsyncing on the hot path (sync() msyncs on the cold
+// snapshot path only; a full machine crash can lose the last instants,
+// which is the same contract real flight recorders give).
+//
+// Appends take a mutex: every producer (slow-op trace, sampler tick,
+// stall report) is already off the fast path, so contention is nil and
+// the single writer keeps ring order == seq order, which is what makes
+// the one-discontinuity reader argument airtight.
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/trace.hpp"
+#include "util/crc32c.hpp"
+
+namespace wfe::obs {
+
+enum class FlightFrameType : std::uint8_t {
+  kMarker = 1,    ///< utf-8 annotation (store open/reopen, test marks)
+  kTrace = 2,     ///< one TraceRing event (fixed 32-byte payload)
+  kSnapshot = 3,  ///< one Sampler RegistrySnapshot, serialized as JSON
+  kStall = 4,     ///< one watchdog stall report (fixed 32-byte payload)
+  kPad = 5,       ///< ring-end filler, no payload meaning
+};
+
+inline const char* name(FlightFrameType t) noexcept {
+  switch (t) {
+    case FlightFrameType::kMarker: return "marker";
+    case FlightFrameType::kTrace: return "trace";
+    case FlightFrameType::kSnapshot: return "snapshot";
+    case FlightFrameType::kStall: return "stall";
+    case FlightFrameType::kPad: return "pad";
+  }
+  return "?";
+}
+
+struct FlightFrame {
+  FlightFrameType type = FlightFrameType::kPad;
+  std::uint64_t seq = 0;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t offset = 0;  ///< ring offset (tests corrupt/inspect by it)
+  std::vector<unsigned char> payload;
+};
+
+struct FlightDump {
+  bool ok = false;
+  std::string error;
+  std::uint64_t capacity = 0;
+  std::uint64_t head = 0;      ///< header hint: total bytes ever appended
+  std::uint64_t last_seq = 0;  ///< header hint: last seq assigned
+  std::uint64_t end_offset = 0;  ///< ring offset just past the last frame
+  std::vector<FlightFrame> frames;  ///< CRC-valid suffix, includes pads
+};
+
+class FlightRecorder : public TraceSink {
+ public:
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::size_t kHeaderSize = 64;
+  static constexpr std::size_t kFrameHeader = 32;
+  static constexpr std::size_t kAlign = 32;
+  static constexpr std::size_t kMinCapacity = 4096;
+
+  /// Opens (creating directories as needed) or resumes `path`.  A file
+  /// with a valid header of the same capacity resumes — existing frames
+  /// stay readable and seq continues past them; anything else is
+  /// reinitialized.  Check ok() after construction: an unopenable path
+  /// degrades to a null recorder, never an abort.
+  FlightRecorder(const std::string& path, std::size_t capacity_bytes) {
+    cap_ = capacity_bytes < kMinCapacity ? kMinCapacity : capacity_bytes;
+    cap_ = (cap_ + kAlign - 1) & ~(kAlign - 1);
+    std::error_code ec;
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) return;
+    const std::size_t file_size = kHeaderSize + cap_;
+    struct stat st {};
+    const bool fresh = ::fstat(fd_, &st) != 0 ||
+                       static_cast<std::size_t>(st.st_size) != file_size;
+    if (::ftruncate(fd_, static_cast<off_t>(file_size)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    void* m = ::mmap(nullptr, file_size, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd_, 0);
+    if (m == MAP_FAILED) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    map_ = static_cast<unsigned char*>(m);
+    map_size_ = file_size;
+    if (!fresh && header_valid(map_, cap_)) {
+      // Resume: walk the existing valid suffix so new frames continue
+      // the seq chain and land right after the last intact frame.
+      const FlightDump d = parse(map_, map_size_);
+      seq_ = 0;
+      for (const FlightFrame& f : d.frames) seq_ = f.seq;
+      head_ = (d.head % cap_ == d.end_offset && d.head / cap_ > 0)
+                  ? d.head
+                  : d.end_offset;
+      if (seq_ == 0) head_ = 0;
+    } else {
+      std::memset(map_, 0, kHeaderSize);
+      std::memcpy(map_, kMagic, 8);
+      store_u32(map_ + 8, kVersion);
+      store_u64(map_ + 16, cap_);
+      head_ = 0;
+      seq_ = 0;
+    }
+    store_u64(map_ + 24, head_);
+    store_u64(map_ + 32, seq_);
+    store_u64(map_ + 40, now_ns());
+    ok_ = true;
+  }
+
+  ~FlightRecorder() override {
+    if (map_ != nullptr) {
+      ::msync(map_, map_size_, MS_ASYNC);
+      ::munmap(map_, map_size_);
+    }
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool ok() const noexcept { return ok_; }
+  std::size_t capacity() const noexcept { return cap_; }
+  std::uint64_t frames_recorded() const noexcept {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t frames_dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t last_seq() const noexcept {
+    std::lock_guard<std::mutex> lk(mu_);
+    return seq_;
+  }
+
+  /// TraceSink: every TraceRing event is mirrored into the box.
+  void on_trace(const TraceEvent& e) noexcept override {
+    unsigned char p[32] = {};
+    store_u64(p + 0, e.seq);
+    store_u64(p + 8, e.ns);
+    store_u32(p + 16, e.shard);
+    store_u32(p + 20, e.aux);
+    p[24] = static_cast<unsigned char>(e.op);
+    p[25] = static_cast<unsigned char>(e.cause);
+    append(FlightFrameType::kTrace, p, sizeof p);
+  }
+
+  void record_marker(const std::string& text) noexcept {
+    append(FlightFrameType::kMarker, text.data(), text.size());
+  }
+
+  void record_snapshot(const std::string& json) noexcept {
+    append(FlightFrameType::kSnapshot, json.data(), json.size());
+    sync();  // cold path: one async msync per sampler tick
+  }
+
+  /// Watchdog stall report (fields mirror obs::StallReport; the payload
+  /// layout is part of the black-box format, see README).
+  void record_stall(std::uint32_t slot, std::uint8_t site, std::uint8_t cause,
+                    std::uint32_t shard, std::uint64_t stall_ns,
+                    std::uint64_t episode) noexcept {
+    unsigned char p[32] = {};
+    store_u32(p + 0, slot);
+    p[4] = site;
+    p[5] = cause;
+    store_u32(p + 8, shard);
+    store_u64(p + 16, stall_ns);
+    store_u64(p + 24, episode);
+    append(FlightFrameType::kStall, p, sizeof p);
+  }
+
+  void sync() noexcept {
+    if (map_ != nullptr) ::msync(map_, map_size_, MS_ASYNC);
+  }
+
+  /// Post-mortem reader: parse the black box at `path`.  Tolerates a
+  /// torn tail (the CRC-valid, seq-contiguous suffix is returned; the
+  /// first invalid bytes end the walk) and a stale/torn header head
+  /// hint (falls back to probing the whole ring).
+  static FlightDump read_file(const std::string& path) {
+    FlightDump d;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      d.error = "cannot open " + path;
+      return d;
+    }
+    std::fseek(f, 0, SEEK_END);
+    const long sz = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<unsigned char> buf(sz > 0 ? static_cast<std::size_t>(sz) : 0);
+    if (!buf.empty() && std::fread(buf.data(), 1, buf.size(), f) != buf.size())
+      buf.clear();
+    std::fclose(f);
+    return parse(buf.data(), buf.size());
+  }
+
+ private:
+  static constexpr char kMagic[8] = {'W', 'F', 'E', 'F', 'L', 'T', '0', '1'};
+
+  static void store_u32(unsigned char* p, std::uint32_t v) noexcept {
+    std::memcpy(p, &v, 4);
+  }
+  static void store_u64(unsigned char* p, std::uint64_t v) noexcept {
+    std::memcpy(p, &v, 8);
+  }
+  static std::uint32_t load_u32(const unsigned char* p) noexcept {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+  }
+  static std::uint64_t load_u64(const unsigned char* p) noexcept {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+  }
+
+  static bool header_valid(const unsigned char* h, std::size_t cap) noexcept {
+    return std::memcmp(h, kMagic, 8) == 0 && load_u32(h + 8) == kVersion &&
+           load_u64(h + 16) == cap;
+  }
+
+  static std::size_t frame_size(std::size_t len) noexcept {
+    return (kFrameHeader + len + kAlign - 1) & ~(kAlign - 1);
+  }
+
+  void append(FlightFrameType t, const void* payload,
+              std::size_t len) noexcept {
+    if (!ok_) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::size_t fsz = frame_size(len);
+    if (fsz > cap_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::size_t off = head_ % cap_;
+    if (off + fsz > cap_) {
+      // A frame never straddles the ring end: close the lap with a pad.
+      write_frame(off, FlightFrameType::kPad, nullptr, cap_ - off - kFrameHeader);
+      head_ += cap_ - off;
+      off = 0;
+    }
+    write_frame(off, t, payload, len);
+    head_ += fsz;
+    store_u64(map_ + 24, head_);
+    store_u64(map_ + 32, seq_);
+    frames_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void write_frame(std::size_t off, FlightFrameType t, const void* payload,
+                   std::size_t len) noexcept {
+    unsigned char* p = map_ + kHeaderSize + off;
+    const std::size_t fsz = frame_size(len);
+    std::memset(p, 0, fsz);
+    store_u32(p + 4, static_cast<std::uint32_t>(len));
+    store_u64(p + 8, ++seq_);
+    store_u64(p + 16, now_ns());
+    p[24] = static_cast<unsigned char>(t);
+    if (len != 0 && payload != nullptr) std::memcpy(p + kFrameHeader, payload, len);
+    store_u32(p, util::crc32c(p + 4, kFrameHeader - 4 + len));
+  }
+
+  /// Try to decode one frame at ring offset `off`; cheap sanity checks
+  /// (type, bounds) reject garbage before the CRC pays for itself.
+  static bool decode_frame(const unsigned char* ring, std::size_t cap,
+                           std::size_t off, FlightFrame& out) {
+    if (off + kFrameHeader > cap) return false;
+    const unsigned char* p = ring + off;
+    const std::uint32_t len = load_u32(p + 4);
+    const std::uint8_t type = p[24];
+    if (type < 1 || type > 5) return false;
+    if (len > cap - kFrameHeader || off + frame_size(len) > cap) return false;
+    const std::uint64_t seq = load_u64(p + 8);
+    if (seq == 0) return false;
+    if (load_u32(p) != util::crc32c(p + 4, kFrameHeader - 4 + len)) return false;
+    out.type = static_cast<FlightFrameType>(type);
+    out.seq = seq;
+    out.ts_ns = load_u64(p + 16);
+    out.offset = off;
+    out.payload.assign(p + kFrameHeader, p + kFrameHeader + len);
+    return true;
+  }
+
+  static FlightDump parse(const unsigned char* data, std::size_t size) {
+    FlightDump d;
+    if (data == nullptr || size < kHeaderSize) {
+      d.error = "file shorter than header";
+      return d;
+    }
+    if (std::memcmp(data, kMagic, 8) != 0 || load_u32(data + 8) != kVersion) {
+      d.error = "bad magic/version";
+      return d;
+    }
+    d.capacity = load_u64(data + 16);
+    d.head = load_u64(data + 24);
+    d.last_seq = load_u64(data + 32);
+    if (d.capacity == 0 || d.capacity % kAlign != 0 ||
+        kHeaderSize + d.capacity > size) {
+      d.error = "capacity inconsistent with file size";
+      return d;
+    }
+    const unsigned char* ring = data + kHeaderSize;
+    const std::size_t cap = static_cast<std::size_t>(d.capacity);
+    // Probe for the oldest intact frame at 32-byte steps from the head
+    // hint (the write point: everything at-or-after it in ring order is
+    // the oldest surviving lap).  A torn hint only costs extra probes.
+    const std::size_t start_probe =
+        (static_cast<std::size_t>(d.head) % cap) & ~(kAlign - 1);
+    std::size_t start = cap;  // "not found"
+    FlightFrame first;
+    for (std::size_t i = 0; i < cap / kAlign; ++i) {
+      const std::size_t off = (start_probe + i * kAlign) % cap;
+      if (decode_frame(ring, cap, off, first)) {
+        start = off;
+        break;
+      }
+    }
+    if (start == cap) {
+      d.ok = true;  // empty (or fully torn) box is parseable, just bare
+      d.end_offset = d.head % cap;
+      return d;
+    }
+    // Walk the seq-contiguous run; the first invalid frame (or seq
+    // break) is the torn tail at the write head.
+    std::size_t off = start;
+    std::uint64_t walked = 0;
+    std::uint64_t prev_seq = 0;
+    FlightFrame f;
+    while (walked < cap && decode_frame(ring, cap, off, f)) {
+      if (prev_seq != 0 && f.seq != prev_seq + 1) break;
+      prev_seq = f.seq;
+      const std::size_t fsz = frame_size(f.payload.size());
+      walked += fsz;
+      off = (off + fsz) % cap;
+      d.frames.push_back(std::move(f));
+      f = FlightFrame{};
+    }
+    d.end_offset = off;
+    d.ok = true;
+    return d;
+  }
+
+  int fd_ = -1;
+  unsigned char* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  std::size_t cap_ = 0;
+  bool ok_ = false;
+
+  mutable std::mutex mu_;
+  std::uint64_t head_ = 0;  ///< total bytes ever appended (ring = head % cap)
+  std::uint64_t seq_ = 0;   ///< last frame seq assigned (1-based)
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace wfe::obs

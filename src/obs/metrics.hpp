@@ -11,12 +11,16 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "obs/clock.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/histogram.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 
 namespace wfe::obs {
 
@@ -38,6 +42,14 @@ struct MetricsOptions {
   bool sampler = true;
   std::uint32_t sample_interval_ms = 100;
   std::size_t sample_ring = 128;  ///< retained snapshots
+  /// Crash-surviving flight recorder (the black box).  When enabled with
+  /// an empty path, KvStore defaults it to <persistence.dir>/flight.bin
+  /// (and disables it when the store has no persist dir to put it in).
+  bool flight = false;
+  std::string flight_path;
+  std::size_t flight_bytes = std::size_t{1} << 20;  ///< ring capacity
+  /// Liveness watchdog (see obs/watchdog.hpp).
+  WatchdogOptions watchdog;
 };
 
 /// Per-thread op tick driving the sampling decision in op_begin().
@@ -61,6 +73,28 @@ class KvMetrics {
         wfe_slow_path(registry.add_histogram("kv_wfe_slow_path_ns", lanes)),
         sample_mask_((std::uint64_t{1} << options.sample_shift) - 1) {
     warm_up();  // pay TSC calibration here, not in a measurement window
+    if (opt.flight && !opt.flight_path.empty()) {
+      flight_ =
+          std::make_unique<FlightRecorder>(opt.flight_path, opt.flight_bytes);
+      if (!flight_->ok()) {
+        flight_.reset();  // unopenable path degrades to no box, never aborts
+      } else {
+        flight_->record_marker("open");
+        trace.set_sink(flight_.get());
+      }
+    }
+    if (opt.watchdog.enabled) {
+      // One reserved heartbeat slot per kv thread slot (index == tid);
+      // background threads acquire dynamic slots past them.
+      watchdog_ = std::make_unique<Watchdog>(opt.watchdog, lanes);
+      watchdog_->start(&trace, flight_.get());
+    }
+  }
+
+  ~KvMetrics() {
+    stop_sampler();
+    if (watchdog_) watchdog_->stop();
+    trace.set_sink(nullptr);
   }
 
   /// Call at the start of an instrumented op.  Returns the tick
@@ -96,6 +130,13 @@ class KvMetrics {
   void start_sampler() {
     if (!opt.sampler) return;
     sampler_.emplace(registry, opt.sample_interval_ms, opt.sample_ring);
+    sampler_->set_watchdog(watchdog_.get());
+    if (flight_) {
+      FlightRecorder* fl = flight_.get();
+      sampler_->set_on_sample([fl](const RegistrySnapshot& s) {
+        fl->record_snapshot(to_json_string(s));
+      });
+    }
     sampler_->start();
   }
 
@@ -109,6 +150,11 @@ class KvMetrics {
   const Sampler* sampler() const noexcept {
     return sampler_ ? &*sampler_ : nullptr;
   }
+
+  FlightRecorder* flight() noexcept { return flight_.get(); }
+  const FlightRecorder* flight() const noexcept { return flight_.get(); }
+  Watchdog* watchdog() noexcept { return watchdog_.get(); }
+  const Watchdog* watchdog() const noexcept { return watchdog_.get(); }
 
   const MetricsOptions opt;
   MetricsRegistry registry;
@@ -126,6 +172,12 @@ class KvMetrics {
 
  private:
   std::uint64_t sample_mask_;
+  // Declaration order is teardown order in reverse: the sampler (which
+  // feeds the flight recorder) dies first, then the watchdog (which
+  // writes to it), then the box itself; `trace` is declared above all
+  // three, and ~KvMetrics detaches it from the sink before any of this.
+  std::unique_ptr<FlightRecorder> flight_;
+  std::unique_ptr<Watchdog> watchdog_;
   std::optional<Sampler> sampler_;
 };
 

@@ -30,6 +30,7 @@ namespace wfe::obs {
 struct HistogramSummary {
   std::string name;
   std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;  ///< exact; mean_ns is derived, don't multiply back
   std::uint64_t max_ns = 0;
   double mean_ns = 0;
   std::uint64_t p50_ns = 0;
@@ -49,6 +50,20 @@ struct RegistrySnapshot {
   std::vector<GaugeValue> gauges;
 };
 
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*.  Anything else
+/// is escaped to '_' (and a leading digit prefixed) at registration and
+/// snapshot time, so the exposition can never emit an unscrapable line.
+inline std::string sanitize_metric_name(std::string n) {
+  if (n.empty()) return "_";
+  for (char& c : n) {
+    const bool valid = c == '_' || c == ':' || (c >= 'a' && c <= 'z') ||
+                       (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    if (!valid) c = '_';
+  }
+  if (n[0] >= '0' && n[0] <= '9') n.insert(n.begin(), '_');
+  return n;
+}
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -59,7 +74,7 @@ class MetricsRegistry {
   /// lifetime (histograms are never removed).
   LatencyHistogram& add_histogram(std::string hist_name, unsigned lanes) {
     std::lock_guard<std::mutex> lk(mu_);
-    hists_.emplace_back(std::move(hist_name),
+    hists_.emplace_back(sanitize_metric_name(std::move(hist_name)),
                         std::make_unique<LatencyHistogram>(lanes));
     return *hists_.back().second;
   }
@@ -80,6 +95,7 @@ class MetricsRegistry {
       HistogramSummary sum;
       sum.name = hist_name;
       sum.count = hs.count;
+      sum.sum_ns = hs.sum;
       sum.max_ns = hs.max;
       sum.mean_ns = hs.mean();
       sum.p50_ns = hs.percentile(50);
@@ -89,6 +105,7 @@ class MetricsRegistry {
       s.histograms.push_back(std::move(sum));
     }
     for (const auto& c : collectors_) c(s.gauges);
+    for (GaugeValue& g : s.gauges) g.name = sanitize_metric_name(std::move(g.name));
     return s;
   }
 

@@ -14,11 +14,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "obs/watchdog.hpp"
 
 namespace wfe::obs {
 
@@ -78,6 +81,18 @@ class Sampler {
     return ring_.empty() ? RegistrySnapshot{} : ring_.back();
   }
 
+  /// Heartbeat the sampler's snapshot tick: a gauge collector wedged on
+  /// store state (stats() takes resize_mu_) shows up as a kSampler
+  /// stall.  Set before start().
+  void set_watchdog(Watchdog* wd) noexcept { watchdog_ = wd; }
+
+  /// Called on the sampler thread after each snapshot lands in the ring
+  /// (the flight recorder serializes it into the black box).  Set before
+  /// start().
+  void set_on_sample(std::function<void(const RegistrySnapshot&)> fn) {
+    on_sample_ = std::move(fn);
+  }
+
  private:
   void loop() {
     // Absolute deadlines, not wait_for(interval): a relative wait makes
@@ -88,13 +103,18 @@ class Sampler {
     // so consumers always see when it was really taken.
     const auto interval = std::chrono::milliseconds(interval_ms_);
     auto next = std::chrono::steady_clock::now() + interval;
+    Watchdog* const wd = watchdog_;
+    const std::size_t hb = wd != nullptr ? wd->acquire_slot() : kNoSlot;
     std::unique_lock<std::mutex> lk(mu_);
     while (!stop_) {
       if (cv_.wait_until(lk, next, [this] { return stop_; })) break;
       lk.unlock();
       // Snapshot outside mu_ so history readers never wait on a slow
       // gauge collector (stats() takes the store's resize mutex).
+      if (hb != kNoSlot) wd->arm(hb, Site::kSampler);
       RegistrySnapshot s = reg_.snapshot();
+      if (on_sample_) on_sample_(s);
+      if (hb != kNoSlot) wd->disarm(hb);
       lk.lock();
       ring_.push_back(std::move(s));
       if (ring_.size() > capacity_) ring_.pop_front();
@@ -105,11 +125,14 @@ class Sampler {
       if (const auto now = std::chrono::steady_clock::now(); next <= now)
         next = now + interval;
     }
+    if (hb != kNoSlot) wd->release_slot(hb);
   }
 
   MetricsRegistry& reg_;
   const std::uint32_t interval_ms_;
   const std::size_t capacity_;
+  Watchdog* watchdog_ = nullptr;
+  std::function<void(const RegistrySnapshot&)> on_sample_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -43,7 +43,10 @@ enum class OpKind : std::uint8_t {
   kMultiPut,
   kMultiRemove,
   kWalAppend,  ///< not a kv op: a WAL ring-backpressure episode
+  kStall,      ///< not a kv op: a watchdog stall report (aux = site/slot)
 };
+
+inline constexpr unsigned kOpKindCount = 10;
 
 enum class TraceCause : std::uint8_t {
   kNone = 0,         ///< plain slow op (allocator, scheduler, cache)
@@ -53,6 +56,8 @@ enum class TraceCause : std::uint8_t {
   kSlowPath,         ///< reclamation took the WFE wait-free slow path
   kAdmitThrottle,    ///< waited on the admission controller's token bucket
 };
+
+inline constexpr unsigned kTraceCauseCount = 6;
 
 inline const char* name(OpKind k) noexcept {
   switch (k) {
@@ -65,6 +70,7 @@ inline const char* name(OpKind k) noexcept {
     case OpKind::kMultiPut: return "multi_put";
     case OpKind::kMultiRemove: return "multi_remove";
     case OpKind::kWalAppend: return "wal_append";
+    case OpKind::kStall: return "stall";
   }
   return "?";
 }
@@ -88,8 +94,19 @@ struct TraceEvent {
   std::uint64_t seq = 0;  ///< global push order (1-based)
   std::uint64_t ns = 0;
   std::uint32_t shard = 0;
+  std::uint32_t aux = 0;  ///< event-kind-specific extra (kStall: site/slot)
   OpKind op = OpKind::kGet;
   TraceCause cause = TraceCause::kNone;
+};
+
+/// Optional tee for every pushed event — the flight recorder implements
+/// this so trace events survive a crash.  on_trace runs on the pushing
+/// thread, which is always already off the fast path (slow ops, WAL
+/// backpressure episodes, watchdog reports).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_trace(const TraceEvent& e) noexcept = 0;
 };
 
 class TraceRing {
@@ -102,23 +119,57 @@ class TraceRing {
 
   std::size_t capacity() const noexcept { return mask_ + 1; }
 
+  /// Attach (or detach, nullptr) the event tee.  Call before traffic;
+  /// the pointer is read with acquire on every push.
+  void set_sink(TraceSink* sink) noexcept {
+    sink_.store(sink, std::memory_order_release);
+  }
+
   void push(OpKind op, std::uint32_t shard, std::uint64_t ns,
-            TraceCause cause) noexcept {
+            TraceCause cause, std::uint32_t aux = 0) noexcept {
     const std::uint64_t s = head_.fetch_add(1, std::memory_order_relaxed);
     Slot& sl = slots_[s & mask_];
     // Invalidate, write fields, then publish seq = s+1 (0 means empty).
     sl.seq.store(0, std::memory_order_release);
     sl.ns.store(ns, std::memory_order_relaxed);
     sl.shard.store(shard, std::memory_order_relaxed);
+    sl.aux.store(aux, std::memory_order_relaxed);
     sl.op.store(static_cast<std::uint8_t>(op), std::memory_order_relaxed);
     sl.cause.store(static_cast<std::uint8_t>(cause),
                    std::memory_order_relaxed);
     sl.seq.store(s + 1, std::memory_order_release);
+    if (TraceSink* sk = sink_.load(std::memory_order_acquire);
+        sk != nullptr) {
+      TraceEvent e;
+      e.seq = s + 1;
+      e.ns = ns;
+      e.shard = shard;
+      e.aux = aux;
+      e.op = op;
+      e.cause = cause;
+      sk->on_trace(e);
+    }
   }
 
   /// Total events ever pushed (events beyond capacity overwrote older ones).
   std::uint64_t total_pushed() const noexcept {
     return head_.load(std::memory_order_relaxed);
+  }
+
+  /// Events lost to lapping: pushed beyond what the ring can still hold.
+  /// With overwritten() and snapshot_torn(), trace-based attribution
+  /// knows exactly how much of the event stream it is NOT seeing.
+  std::uint64_t overwritten() const noexcept {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    const std::uint64_t cap = capacity();
+    return h > cap ? h - cap : 0;
+  }
+
+  /// Slots a snapshot() had to skip because a writer was mid-publish
+  /// (the seq re-check failed) — transient loss, counted across all
+  /// snapshots ever taken.
+  std::uint64_t snapshot_torn() const noexcept {
+    return snapshot_torn_.load(std::memory_order_relaxed);
   }
 
   /// Copy out currently readable events, oldest first.  Slots mid-write
@@ -127,6 +178,7 @@ class TraceRing {
     std::vector<TraceEvent> out;
     const std::size_t cap = capacity();
     out.reserve(cap);
+    std::uint64_t torn = 0;
     for (std::size_t i = 0; i < cap; ++i) {
       const Slot& sl = slots_[i];
       const std::uint64_t seq1 = sl.seq.load(std::memory_order_acquire);
@@ -137,12 +189,17 @@ class TraceRing {
       // cannot model); free on x86.
       e.ns = sl.ns.load(std::memory_order_acquire);
       e.shard = sl.shard.load(std::memory_order_acquire);
+      e.aux = sl.aux.load(std::memory_order_acquire);
       e.op = static_cast<OpKind>(sl.op.load(std::memory_order_acquire));
       e.cause = static_cast<TraceCause>(sl.cause.load(std::memory_order_acquire));
-      if (sl.seq.load(std::memory_order_relaxed) != seq1) continue;
+      if (sl.seq.load(std::memory_order_relaxed) != seq1) {
+        ++torn;
+        continue;
+      }
       e.seq = seq1;
       out.push_back(e);
     }
+    if (torn != 0) snapshot_torn_.fetch_add(torn, std::memory_order_relaxed);
     std::sort(out.begin(), out.end(),
               [](const TraceEvent& a, const TraceEvent& b) {
                 return a.seq < b.seq;
@@ -155,6 +212,7 @@ class TraceRing {
     std::atomic<std::uint64_t> seq{0};
     std::atomic<std::uint64_t> ns{0};
     std::atomic<std::uint32_t> shard{0};
+    std::atomic<std::uint32_t> aux{0};
     std::atomic<std::uint8_t> op{0};
     std::atomic<std::uint8_t> cause{0};
   };
@@ -162,6 +220,8 @@ class TraceRing {
   std::atomic<std::uint64_t> head_{0};
   std::size_t mask_ = 0;
   std::unique_ptr<Slot[]> slots_;
+  std::atomic<TraceSink*> sink_{nullptr};
+  mutable std::atomic<std::uint64_t> snapshot_torn_{0};
 };
 
 }  // namespace wfe::obs

@@ -49,6 +49,7 @@
 #include "obs/clock.hpp"
 #include "obs/histogram.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "persist/wal.hpp"
 #include "util/backoff.hpp"
 
@@ -104,11 +105,15 @@ class ShardWal {
   /// while appenders run is not supported.
   void set_metrics(obs::LatencyHistogram* fsync_hist,
                    obs::LatencyHistogram* commit_wait_hist,
-                   obs::TraceRing* trace, unsigned lane) noexcept {
+                   obs::TraceRing* trace, unsigned lane,
+                   obs::Watchdog* watchdog = nullptr) noexcept {
     fsync_hist_ = fsync_hist;
     commit_wait_hist_ = commit_wait_hist;
     trace_ = trace;
     metrics_lane_ = lane;
+    // Atomic: the flusher thread is already running when this is called
+    // (it starts in the constructor) and polls the pointer per iteration.
+    watchdog_.store(watchdog, std::memory_order_release);
   }
 
   /// Appends one record; returns its LSN.  Honors the stream's sync
@@ -403,11 +408,23 @@ class ShardWal {
     std::vector<unsigned char> buf;
     std::size_t buf_off = 0;
     std::uint64_t buf_last = 0;
+    // Heartbeat: this thread starts before set_metrics runs, so the
+    // watchdog is picked up lazily.  Armed per iteration (fresh episode
+    // each pass), disarmed across the idle waits — an idle stream is
+    // not a stalled one; a wedged write/fsync is.
+    obs::Watchdog* wd = nullptr;
+    std::size_t hb = obs::kNoSlot;
     for (;;) {
+      if (wd == nullptr) {
+        wd = watchdog_.load(std::memory_order_acquire);
+        if (wd != nullptr) hb = wd->acquire_slot();
+      }
+      if (hb != obs::kNoSlot) wd->arm(hb, obs::Site::kWalFlusher, shard_);
       if (flush_suppressed_.load(std::memory_order_acquire)) {
         // Parked by the test hook: consume nothing until it clears.
         std::unique_lock<std::mutex> lk(mu_);
         if (stop_) break;
+        if (hb != obs::kNoSlot) wd->disarm(hb);
         cv_flush_.wait_for(lk, std::chrono::microseconds(flush_idle_us_));
         continue;
       }
@@ -466,9 +483,11 @@ class ShardWal {
         if (stop_) break;
         if (io_clean && more) continue;  // keep batching while work arrives
         // Idle — or backing off before retrying a failed write.
+        if (hb != obs::kNoSlot) wd->disarm(hb);
         cv_flush_.wait_for(lk, std::chrono::microseconds(flush_idle_us_));
       }
     }
+    if (hb != obs::kNoSlot) wd->release_slot(hb);
     // Shutdown: a clean close drains and fsyncs (best effort — a write
     // that still fails here leaves the watermark honest, just short);
     // a crash abandons the ring and leaves the file as-is.
@@ -596,7 +615,7 @@ class ShardWal {
   /// of only a tls tag an op wrapper may or may not harvest.
   void wait_ring_space(std::uint64_t lsn) {
     if (lsn - consumed_pub_.load(std::memory_order_acquire) <= cap_) return;
-    obs::tls_cause = obs::TraceCause::kWalBackpressure;
+    obs::stall_note(obs::TraceCause::kWalBackpressure, shard_);
     const std::uint64_t t0 = obs::now_ticks();
     {
       // Cut the flusher's idle timeout short: it frees the slots.
@@ -621,7 +640,7 @@ class ShardWal {
     const std::uint64_t t0 =
         commit_wait_hist_ != nullptr ? obs::now_ticks() : 0;
     if (commit_wait_hist_ != nullptr)
-      obs::tls_cause = obs::TraceCause::kWalBackpressure;
+      obs::stall_note(obs::TraceCause::kWalBackpressure, shard_);
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_flush_.notify_one();  // don't ride out the idle timeout
@@ -658,6 +677,10 @@ class ShardWal {
   obs::LatencyHistogram* commit_wait_hist_ = nullptr;
   obs::TraceRing* trace_ = nullptr;
   unsigned metrics_lane_ = 0;
+  /// Atomic unlike the probes above: the flusher polls it every
+  /// iteration, racing the set_metrics call that happens after the
+  /// thread is already running.
+  std::atomic<obs::Watchdog*> watchdog_{nullptr};
 
   // Flusher-owned (plus mu_-guarded shared bits).
   std::uint64_t consumed_ = 0;  ///< last LSN written to the file

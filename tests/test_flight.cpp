@@ -1,0 +1,473 @@
+// Flight recorder + liveness watchdog (src/obs/flight.hpp, watchdog.hpp).
+//
+//   * black-box round trip: marker/trace/snapshot/stall frames written
+//     by the recorder come back from the file reader in seq order with
+//     their payloads intact;
+//   * wrap: writing far past capacity keeps a CRC-valid, seq-contiguous
+//     suffix ending at the newest frame (pads close every lap);
+//   * torn tail: corrupting the newest frame loses exactly that frame,
+//     never the parse;
+//   * reopen: a recorder on an existing box resumes the seq chain;
+//   * oversized frames are counted dropped, not wedged;
+//   * watchdog: a manually armed stall is detected within 2x the bound
+//     with correct site/cause/shard, stops re-firing once disarmed, and
+//     an idle store soaks with ZERO false positives;
+//   * acceptance: a deliberately parked resizer (set_resize_park_hook)
+//     is caught as resize-driver within 2x the bound while worker ops
+//     help-migrate around it, and the report lands in the black box.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "kv/kv_store.hpp"
+#include "obs/flight.hpp"
+#include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
+#include "scratch_dir.hpp"
+#include "tracker_types.hpp"
+
+namespace {
+
+using namespace wfe;
+
+std::uint64_t load_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+std::uint32_t load_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder file format
+// ---------------------------------------------------------------------
+
+TEST(Flight, RoundTrip) {
+  test::ScratchDir dir("flight_rt");
+  const std::string path = dir.path() + "/flight.bin";
+  const std::uint64_t t0 = obs::now_ns();
+  {
+    obs::FlightRecorder fr(path, 64 * 1024);
+    ASSERT_TRUE(fr.ok());
+    fr.record_marker("open");
+    obs::TraceEvent e;
+    e.seq = 41;
+    e.ns = 123456;
+    e.shard = 7;
+    e.aux = 99;
+    e.op = obs::OpKind::kPut;
+    e.cause = obs::TraceCause::kWalBackpressure;
+    fr.on_trace(e);
+    fr.record_snapshot("{\"at_ns\":1}");
+    fr.record_stall(/*slot=*/3, /*site=*/2, /*cause=*/3, /*shard=*/5,
+                    /*stall_ns=*/7'000'000, /*episode=*/11);
+    EXPECT_EQ(fr.frames_recorded(), 4u);
+    EXPECT_EQ(fr.frames_dropped(), 0u);
+    EXPECT_EQ(fr.last_seq(), 4u);
+  }
+  const obs::FlightDump d = obs::FlightRecorder::read_file(path);
+  ASSERT_TRUE(d.ok) << d.error;
+  ASSERT_EQ(d.frames.size(), 4u);
+  for (std::size_t i = 0; i < d.frames.size(); ++i) {
+    EXPECT_EQ(d.frames[i].seq, i + 1);
+    EXPECT_GE(d.frames[i].ts_ns, t0);
+    EXPECT_LE(d.frames[i].ts_ns, obs::now_ns());
+  }
+  EXPECT_EQ(d.frames[0].type, obs::FlightFrameType::kMarker);
+  EXPECT_EQ(std::string(d.frames[0].payload.begin(),
+                        d.frames[0].payload.end()),
+            "open");
+  ASSERT_EQ(d.frames[1].type, obs::FlightFrameType::kTrace);
+  ASSERT_EQ(d.frames[1].payload.size(), 32u);
+  const unsigned char* tp = d.frames[1].payload.data();
+  EXPECT_EQ(load_u64(tp + 0), 41u);      // trace seq
+  EXPECT_EQ(load_u64(tp + 8), 123456u);  // ns
+  EXPECT_EQ(load_u32(tp + 16), 7u);      // shard
+  EXPECT_EQ(load_u32(tp + 20), 99u);     // aux
+  EXPECT_EQ(tp[24], static_cast<unsigned char>(obs::OpKind::kPut));
+  EXPECT_EQ(tp[25],
+            static_cast<unsigned char>(obs::TraceCause::kWalBackpressure));
+  EXPECT_EQ(d.frames[2].type, obs::FlightFrameType::kSnapshot);
+  EXPECT_EQ(std::string(d.frames[2].payload.begin(),
+                        d.frames[2].payload.end()),
+            "{\"at_ns\":1}");
+  ASSERT_EQ(d.frames[3].type, obs::FlightFrameType::kStall);
+  const unsigned char* sp = d.frames[3].payload.data();
+  EXPECT_EQ(load_u32(sp + 0), 3u);           // slot
+  EXPECT_EQ(sp[4], 2u);                      // site
+  EXPECT_EQ(sp[5], 3u);                      // cause
+  EXPECT_EQ(load_u32(sp + 8), 5u);           // shard
+  EXPECT_EQ(load_u64(sp + 16), 7'000'000u);  // stall ns
+  EXPECT_EQ(load_u64(sp + 24), 11u);         // episode
+}
+
+TEST(Flight, WrapKeepsCrcValidSuffix) {
+  test::ScratchDir dir("flight_wrap");
+  const std::string path = dir.path() + "/flight.bin";
+  const std::size_t cap = 4096;  // kMinCapacity: forces many laps
+  std::uint64_t want_last = 0;
+  {
+    obs::FlightRecorder fr(path, cap);
+    ASSERT_TRUE(fr.ok());
+    obs::TraceEvent e;
+    for (std::uint64_t i = 0; i < 400; ++i) {
+      e.seq = i;
+      e.ns = i * 10;
+      e.op = obs::OpKind::kGet;
+      fr.on_trace(e);
+    }
+    fr.record_marker("tail-marker");
+    want_last = fr.last_seq();
+  }
+  const obs::FlightDump d = obs::FlightRecorder::read_file(path);
+  ASSERT_TRUE(d.ok) << d.error;
+  ASSERT_FALSE(d.frames.empty());
+  // Seq-contiguous (pads included in the chain) and ends at the newest.
+  for (std::size_t i = 1; i < d.frames.size(); ++i)
+    EXPECT_EQ(d.frames[i].seq, d.frames[i - 1].seq + 1);
+  EXPECT_EQ(d.frames.back().seq, want_last);
+  EXPECT_EQ(d.frames.back().type, obs::FlightFrameType::kMarker);
+  // The readable window cannot exceed one lap.
+  std::size_t bytes = 0;
+  for (const auto& f : d.frames)
+    bytes += (32 + f.payload.size() + 31) & ~std::size_t{31};
+  EXPECT_LE(bytes, cap);
+  EXPECT_GT(d.frames.size(), 32u);  // a healthy fraction of a lap
+}
+
+TEST(Flight, TornTailTolerated) {
+  test::ScratchDir dir("flight_torn");
+  const std::string path = dir.path() + "/flight.bin";
+  {
+    obs::FlightRecorder fr(path, 4096);
+    ASSERT_TRUE(fr.ok());
+    for (int i = 0; i < 20; ++i)
+      fr.record_marker("frame-" + std::to_string(i));
+  }
+  obs::FlightDump before = obs::FlightRecorder::read_file(path);
+  ASSERT_TRUE(before.ok);
+  ASSERT_GE(before.frames.size(), 20u);
+  // Tear the newest frame mid-payload, as a kill mid-write would.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const long pos = static_cast<long>(
+        obs::FlightRecorder::kHeaderSize + before.frames.back().offset +
+        obs::FlightRecorder::kFrameHeader);
+    ASSERT_EQ(std::fseek(f, pos, SEEK_SET), 0);
+    ASSERT_EQ(std::fputc('X', f), 'X');
+    std::fclose(f);
+  }
+  const obs::FlightDump after = obs::FlightRecorder::read_file(path);
+  ASSERT_TRUE(after.ok) << after.error;
+  ASSERT_EQ(after.frames.size(), before.frames.size() - 1);
+  EXPECT_EQ(after.frames.back().seq, before.frames.back().seq - 1);
+}
+
+TEST(Flight, ReopenResumesSeqChain) {
+  test::ScratchDir dir("flight_reopen");
+  const std::string path = dir.path() + "/flight.bin";
+  {
+    obs::FlightRecorder fr(path, 8192);
+    ASSERT_TRUE(fr.ok());
+    fr.record_marker("first-life");
+    EXPECT_EQ(fr.last_seq(), 1u);
+  }
+  {
+    obs::FlightRecorder fr(path, 8192);
+    ASSERT_TRUE(fr.ok());
+    EXPECT_EQ(fr.last_seq(), 1u);  // resumed, not reinitialized
+    fr.record_marker("second-life");
+  }
+  const obs::FlightDump d = obs::FlightRecorder::read_file(path);
+  ASSERT_TRUE(d.ok) << d.error;
+  ASSERT_EQ(d.frames.size(), 2u);
+  EXPECT_EQ(d.frames[0].seq, 1u);
+  EXPECT_EQ(d.frames[1].seq, 2u);
+  EXPECT_EQ(std::string(d.frames[1].payload.begin(),
+                        d.frames[1].payload.end()),
+            "second-life");
+  // A DIFFERENT capacity cannot resume: the box reinitializes.
+  {
+    obs::FlightRecorder fr(path, 16384);
+    ASSERT_TRUE(fr.ok());
+    EXPECT_EQ(fr.last_seq(), 0u);
+  }
+}
+
+TEST(Flight, OversizedFrameDroppedNotWedged) {
+  test::ScratchDir dir("flight_big");
+  const std::string path = dir.path() + "/flight.bin";
+  obs::FlightRecorder fr(path, 4096);
+  ASSERT_TRUE(fr.ok());
+  fr.record_snapshot(std::string(8192, 'x'));  // > capacity
+  EXPECT_EQ(fr.frames_dropped(), 1u);
+  fr.record_marker("still-alive");
+  EXPECT_EQ(fr.frames_recorded(), 1u);
+}
+
+TEST(Flight, UnopenablePathDegradesToNullRecorder) {
+  obs::FlightRecorder fr("/proc/definitely/not/writable/flight.bin", 4096);
+  EXPECT_FALSE(fr.ok());
+  fr.record_marker("dropped on the floor");  // must not crash
+  obs::TraceEvent e;
+  fr.on_trace(e);
+  EXPECT_EQ(fr.frames_recorded(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------
+
+TEST(Watchdog, DetectsManualStallWithinTwiceBound) {
+  obs::WatchdogOptions opt;
+  opt.enabled = true;
+  opt.stall_bound_ns = 40'000'000;  // 40ms
+  opt.scan_interval_ms = 10;
+  obs::TraceRing ring(64);
+  obs::Watchdog wd(opt, /*reserved_slots=*/2);
+  wd.start(&ring, nullptr);
+  const std::uint64_t armed_at = obs::now_ns();
+  wd.arm(0, obs::Site::kKvOp, /*shard=*/7);
+  obs::stall_note(obs::TraceCause::kFrozenWait, 7);
+  // Poll rather than sleep-and-hope: the acceptance bound is 2x.
+  while (wd.stalls_detected() == 0 &&
+         obs::now_ns() - armed_at < 2'000'000'000ull)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  const std::uint64_t detected_at = obs::now_ns();
+  ASSERT_GT(wd.stalls_detected(), 0u) << "stall never detected";
+  // Detection latency <= bound + 2 scan intervals <= 2x bound (with CI
+  // scheduling slop on top; 3x is the hard test ceiling).
+  EXPECT_LT(detected_at - armed_at, 3 * opt.stall_bound_ns);
+  const auto reports = wd.reports();
+  ASSERT_FALSE(reports.empty());
+  EXPECT_EQ(reports[0].slot, 0u);
+  EXPECT_EQ(reports[0].site, obs::Site::kKvOp);
+  EXPECT_EQ(reports[0].cause, obs::TraceCause::kFrozenWait);
+  EXPECT_EQ(reports[0].shard, 7u);
+  EXPECT_GE(reports[0].stall_ns, opt.stall_bound_ns);
+  // The report also landed in the trace ring as a kStall event carrying
+  // (site << 24 | slot) in aux.
+  const auto evs = ring.snapshot();
+  bool saw = false;
+  for (const auto& e : evs)
+    if (e.op == obs::OpKind::kStall) {
+      saw = true;
+      EXPECT_EQ(e.shard, 7u);
+      EXPECT_EQ(e.aux >> 24,
+                static_cast<std::uint32_t>(obs::Site::kKvOp));
+      EXPECT_EQ(e.aux & 0xffffffu, 0u);
+    }
+  EXPECT_TRUE(saw);
+  // Disarm: the counter must go quiet (no re-reports of a dead episode).
+  wd.disarm(0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::uint64_t settled = wd.stalls_detected();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(wd.stalls_detected(), settled);
+  wd.stop();
+}
+
+TEST(Watchdog, ActiveThreadNeverTrips) {
+  obs::WatchdogOptions opt;
+  opt.enabled = true;
+  opt.stall_bound_ns = 30'000'000;  // 30ms
+  obs::Watchdog wd(opt, 1);
+  wd.start(nullptr, nullptr);
+  // Re-arm (fresh episode) every ~1ms for 10 bounds' worth of wall time:
+  // an episode counter that moves is never a stall.
+  const auto end =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(300);
+  while (std::chrono::steady_clock::now() < end) {
+    wd.arm(0, obs::Site::kKvOp, 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    wd.disarm(0);
+  }
+  wd.stop();
+  EXPECT_EQ(wd.stalls_detected(), 0u);
+}
+
+TEST(Watchdog, DynamicSlotLifecycle) {
+  obs::WatchdogOptions opt;
+  opt.enabled = true;
+  obs::Watchdog wd(opt, /*reserved_slots=*/2, /*dynamic_slots=*/2);
+  const std::size_t a = wd.acquire_slot();
+  const std::size_t b = wd.acquire_slot();
+  EXPECT_EQ(a, 2u);
+  EXPECT_EQ(b, 3u);
+  EXPECT_EQ(wd.acquire_slot(), obs::kNoSlot);  // exhausted: unmonitored
+  wd.release_slot(a);
+  EXPECT_EQ(wd.acquire_slot(), a);  // recycled
+}
+
+// Zero false positives: an idle-then-lightly-loaded store with the
+// watchdog at a tight bound must finish with stalls_detected() == 0 —
+// disarmed op exits and idle background threads never look stalled.
+TEST(Watchdog, IdleStoreSoakNoFalsePositives) {
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, core::WfeTracker>;
+  test::ScratchDir dir("wd_soak");
+  kv::KvConfig cfg;
+  cfg.shards = 2;
+  cfg.buckets_per_shard = 64;
+  cfg.tracker.max_threads = 2;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  cfg.persistence.enabled = true;
+  cfg.persistence.dir = dir.path() + "/wal";
+  cfg.metrics.enabled = true;
+  cfg.metrics.sampler = true;
+  cfg.metrics.sample_interval_ms = 5;
+  cfg.metrics.flight = true;  // defaults next to the WAL
+  cfg.metrics.watchdog.enabled = true;
+  cfg.metrics.watchdog.stall_bound_ns = 50'000'000;  // 50ms, tight
+  {
+    Store store(cfg);
+    ASSERT_NE(store.watchdog(), nullptr);
+    ASSERT_NE(store.flight(), nullptr);
+    for (std::uint64_t k = 1; k <= 200; ++k) store.put(k, k, 0);
+    // Idle soak: several bounds' worth of silence, then light traffic.
+    std::this_thread::sleep_for(std::chrono::milliseconds(350));
+    for (std::uint64_t k = 1; k <= 200; ++k) store.get(k, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    EXPECT_EQ(store.watchdog()->stalls_detected(), 0u)
+        << "false positive stall report(s) on a healthy store";
+    EXPECT_GT(store.flight()->frames_recorded(), 0u);
+  }
+  // The box survives the store and parses.
+  const obs::FlightDump d =
+      obs::FlightRecorder::read_file(cfg.metrics.flight_path.empty()
+                                         ? dir.path() + "/wal/flight.bin"
+                                         : cfg.metrics.flight_path);
+  ASSERT_TRUE(d.ok) << d.error;
+  EXPECT_FALSE(d.frames.empty());
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: the parked resizer
+// ---------------------------------------------------------------------
+
+// set_resize_park_hook freezes every bucket and then parks the resize
+// driver (holding resize_mu_, claiming nothing).  Worker ops keep
+// completing by helping migration; the ONLY stuck thread is the driver.
+// The watchdog must say exactly that — site resize-driver, the shard
+// the cursor was parked on — within 2x the configured bound, and the
+// report must reach the flight recorder's black box.
+TEST(Watchdog, CatchesParkedResizer) {
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, core::WfeTracker>;
+  test::ScratchDir dir("wd_park");
+  kv::KvConfig cfg;
+  cfg.shards = 2;
+  cfg.buckets_per_shard = 64;
+  cfg.tracker.max_threads = 3;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  cfg.persistence.enabled = true;
+  cfg.persistence.dir = dir.path() + "/wal";
+  cfg.metrics.enabled = true;
+  cfg.metrics.sampler = false;  // keep the sampler off resize_mu_
+  cfg.metrics.flight = true;
+  cfg.metrics.watchdog.enabled = true;
+  cfg.metrics.watchdog.stall_bound_ns = 150'000'000;  // 150ms
+  cfg.metrics.watchdog.scan_interval_ms = 20;
+  std::string flight_path;
+  {
+    Store store(cfg);
+    ASSERT_NE(store.watchdog(), nullptr);
+    ASSERT_NE(store.flight(), nullptr);
+    for (std::uint64_t k = 1; k <= 500; ++k) store.put(k, k, 0);
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool parked = false, release = false;
+    std::uint64_t parked_at = 0;
+    store.set_resize_park_hook([&] {
+      std::unique_lock<std::mutex> lk(mu);
+      parked = true;
+      parked_at = obs::now_ns();
+      cv.notify_all();
+      cv.wait(lk, [&] { return release; });
+    });
+
+    std::thread resizer([&] { store.resize(4, /*tid=*/1); });
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [&] { return parked; });
+    }
+    // Workers run THROUGH the park: every bucket is frozen, so their
+    // ops complete by helping — liveness for everyone but the driver.
+    std::atomic<bool> stop_worker{false};
+    std::thread worker([&] {
+      std::uint64_t i = 0;
+      while (!stop_worker.load(std::memory_order_acquire)) {
+        store.get((i % 500) + 1, /*tid=*/2);
+        if (i % 64 == 0) store.put(1000 + (i % 100), i, /*tid=*/2);
+        ++i;
+      }
+    });
+
+    // Wait for the resize-driver report (hard 3s ceiling).
+    std::optional<obs::StallReport> hit;
+    while (!hit.has_value() && obs::now_ns() - parked_at < 3'000'000'000ull) {
+      for (const auto& r : store.watchdog()->reports())
+        if (r.site == obs::Site::kResizeDriver) {
+          hit = r;
+          break;
+        }
+      if (!hit.has_value())
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    const std::uint64_t detected_at = obs::now_ns();
+    stop_worker.store(true, std::memory_order_release);
+    worker.join();
+    ASSERT_TRUE(hit.has_value()) << "parked resizer never reported";
+    // Acceptance: within 2x the configured bound of the park (plus CI
+    // scheduling slop; poll quantum above is 5ms).
+    EXPECT_LT(detected_at - parked_at,
+              2 * cfg.metrics.watchdog.stall_bound_ns + 100'000'000ull)
+        << "detection took " << (detected_at - parked_at) << " ns";
+    EXPECT_GE(hit->stall_ns, cfg.metrics.watchdog.stall_bound_ns);
+    // The cursor never left shard 0: the park happens before migration.
+    EXPECT_EQ(hit->shard, 0u);
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      release = true;
+    }
+    cv.notify_all();
+    resizer.join();
+    store.set_resize_park_hook({});
+    // Resize completed once released; the store is intact.
+    EXPECT_EQ(store.get(1, 0), std::optional<std::uint64_t>(1));
+    flight_path = dir.path() + "/wal/flight.bin";
+    store.flight()->sync();
+  }
+  // Post-mortem: the black box carries the stall as a kStall frame with
+  // site resize-driver.
+  const obs::FlightDump d = obs::FlightRecorder::read_file(flight_path);
+  ASSERT_TRUE(d.ok) << d.error;
+  bool saw_stall = false;
+  for (const auto& f : d.frames) {
+    if (f.type != obs::FlightFrameType::kStall) continue;
+    ASSERT_GE(f.payload.size(), 32u);
+    if (f.payload[4] ==
+        static_cast<unsigned char>(obs::Site::kResizeDriver)) {
+      saw_stall = true;
+      EXPECT_EQ(load_u32(f.payload.data() + 8), 0u);  // shard
+    }
+  }
+  EXPECT_TRUE(saw_stall) << "stall report missing from the black box";
+}
+
+}  // namespace

@@ -371,8 +371,8 @@ TEST(ObsTrace, ConcurrentPushAndSnapshot) {
       for (const auto& e : evs) {
         EXPECT_GT(e.seq, prev);
         prev = e.seq;
-        EXPECT_LT(static_cast<unsigned>(e.op), 8u);
-        EXPECT_LT(static_cast<unsigned>(e.cause), 5u);
+        EXPECT_LT(static_cast<unsigned>(e.op), obs::kOpKindCount);
+        EXPECT_LT(static_cast<unsigned>(e.cause), obs::kTraceCauseCount);
       }
     }
   });
@@ -390,6 +390,41 @@ TEST(ObsTrace, ConcurrentPushAndSnapshot) {
   auto evs = ring.snapshot();
   EXPECT_LE(evs.size(), ring.capacity());
   EXPECT_GT(evs.size(), 0u);
+}
+
+// Loss accounting: overwritten() counts exactly what lapping destroyed,
+// snapshot_torn() counts slots a racing snapshot had to skip.  Trace
+// attribution consumers read both to know how much of the event stream
+// they are NOT seeing.
+TEST(ObsTrace, LossAccounting) {
+  obs::TraceRing ring(8);
+  EXPECT_EQ(ring.overwritten(), 0u);
+  EXPECT_EQ(ring.snapshot_torn(), 0u);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    ring.push(obs::OpKind::kGet, 0, i, obs::TraceCause::kNone);
+  EXPECT_EQ(ring.overwritten(), 0u);  // exactly full: nothing lost yet
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ring.push(obs::OpKind::kGet, 0, i, obs::TraceCause::kNone);
+  EXPECT_EQ(ring.overwritten(), 5u);  // 13 pushed - 8 readable
+  EXPECT_EQ(ring.total_pushed() - ring.overwritten(), ring.capacity());
+  // Quiescent snapshots never count torn slots.
+  (void)ring.snapshot();
+  (void)ring.snapshot();
+  EXPECT_EQ(ring.snapshot_torn(), 0u);
+  // Racing snapshots against pushers may tear; the counter only grows
+  // and every reported tear corresponds to a skipped slot.
+  std::atomic<bool> stop{false};
+  std::thread pusher([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire))
+      ring.push(obs::OpKind::kPut, 1, ++i, obs::TraceCause::kNone);
+  });
+  for (int i = 0; i < 200; ++i) (void)ring.snapshot();
+  stop.store(true, std::memory_order_release);
+  pusher.join();
+  const std::uint64_t torn = ring.snapshot_torn();
+  (void)ring.snapshot();  // quiescent again: the counter must not move
+  EXPECT_EQ(ring.snapshot_torn(), torn);
 }
 
 // ---------------------------------------------------------------------
@@ -439,6 +474,112 @@ TEST(ObsRegistry, SnapshotAndExportRoundTrip) {
   EXPECT_EQ(obs::serialize(snap, obs::ExportFormat::kPrometheus), prom);
 }
 
+// The _sum series must be the histogram's EXACT accumulated sum.  The
+// old exporter reconstructed it as uint64(mean * count), whose double
+// rounding drifted for large sums; the registry now carries the exact
+// integer through (HistogramSummary::sum_ns) and the exporter prints it
+// verbatim.  # HELP lines ride along for every series.
+TEST(ObsRegistry, PrometheusExactSumAndHelp) {
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram& h = reg.add_histogram("sum_exact_ns", 1);
+  // Values chosen so sum is NOT representable as (count * round(mean)):
+  // a double carries 53 mantissa bits; this sum needs all 64.
+  std::uint64_t want_sum = 0;
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t v = (std::uint64_t{1} << 62) + 1 + i;
+    h.record(v, 0);
+    want_sum += v;
+  }
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].sum_ns, want_sum);
+  char exact[64];
+  std::snprintf(exact, sizeof exact, "sum_exact_ns_sum %llu\n",
+                static_cast<unsigned long long>(want_sum));
+  const std::string prom = obs::to_prometheus(snap);
+  EXPECT_NE(prom.find(exact), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# HELP sum_exact_ns "), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE sum_exact_ns summary"), std::string::npos);
+  EXPECT_NE(prom.find("# HELP sum_exact_ns_max "), std::string::npos);
+  // JSON carries the same exact integer.
+  const std::string js = obs::to_json_string(snap);
+  char jexact[64];
+  std::snprintf(jexact, sizeof jexact, "\"sum_ns\":%llu",
+                static_cast<unsigned long long>(want_sum));
+  EXPECT_NE(js.find(jexact), std::string::npos) << js;
+}
+
+// Metric names with characters outside [a-zA-Z0-9_:] would produce
+// unscrapable exposition lines; the registry escapes them at
+// registration (histograms) and snapshot time (gauges).
+TEST(ObsRegistry, InvalidMetricNamesAreSanitized) {
+  EXPECT_EQ(obs::sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+  EXPECT_EQ(obs::sanitize_metric_name("bad name-with.dots"),
+            "bad_name_with_dots");
+  EXPECT_EQ(obs::sanitize_metric_name("9leading"), "_9leading");
+  EXPECT_EQ(obs::sanitize_metric_name(""), "_");
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram& h = reg.add_histogram("kv op/latency{ns}", 1);
+  h.record(5, 0);
+  reg.add_collector([](std::vector<obs::GaugeValue>& out) {
+    out.push_back({"weird gauge\"name", 1.0});
+  });
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "kv_op_latency_ns_");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].name, "weird_gauge_name");
+  const std::string prom = obs::to_prometheus(snap);
+  for (char c : prom) {
+    if (c == '{') break;  // quantile labels are quoted, stop at first
+    EXPECT_TRUE(c == '_' || c == ':' || c == ' ' || c == '\n' || c == '#' ||
+                std::isalnum(static_cast<unsigned char>(c)))
+        << "bad char '" << c << "' in metric name region";
+  }
+}
+
+// dump_to_file is crash-atomic: the content lands via tmp + fsync +
+// rename, so a reader at `path` sees the old dump or the new one —
+// never a torn mix — and no .tmp residue survives success.
+TEST(ObsRegistry, DumpToFileIsAtomicRename) {
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram& h = reg.add_histogram("atomic_dump_ns", 1);
+  h.record(123, 0);
+  const std::string path = "obs_atomic_dump.json";
+  const std::string tmp = path + ".tmp";
+  std::filesystem::remove(path);
+  std::filesystem::remove(tmp);
+  // First dump creates the file; overwrite replaces it in one rename.
+  ASSERT_TRUE(obs::dump_to_file(path.c_str(),
+                                obs::serialize(reg.snapshot(),
+                                               obs::ExportFormat::kJson)));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(tmp)) << "tmp residue after dump";
+  h.record(456, 0);
+  ASSERT_TRUE(obs::dump_to_file(path.c_str(),
+                                obs::serialize(reg.snapshot(),
+                                               obs::ExportFormat::kJson)));
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())))
+    text.pop_back();
+  auto parsed = MiniJsonParser(text).parse();
+  ASSERT_TRUE(parsed.has_value()) << text;
+  const MiniJson* hist = find_histogram(*parsed, "atomic_dump_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->members.at("count").num, 2.0);  // the SECOND dump won
+  // Unwritable target: fails cleanly, leaves no tmp anywhere visible.
+  EXPECT_FALSE(obs::dump_to_file("/nonexistent_dir_obs/x.json", text));
+  std::filesystem::remove(path);
+}
+
 TEST(ObsRegistry, SamplerFillsRing) {
   obs::MetricsRegistry reg;
   obs::LatencyHistogram& h = reg.add_histogram("sampled_ns", 1);
@@ -460,6 +601,59 @@ TEST(ObsRegistry, SamplerFillsRing) {
   for (std::size_t i = 1; i < hist.size(); ++i)
     EXPECT_GE(hist[i].at_ns, hist[i - 1].at_ns);
   EXPECT_EQ(sampler.latest().at_ns, hist.back().at_ns);
+}
+
+// A stopped sampler must restart cleanly on the same instance (stop_
+// resets on start), keep appending to the same ring, and its counters
+// must be monotone across the cycles.
+TEST(ObsRegistry, SamplerStopStartReuse) {
+  obs::MetricsRegistry reg;
+  obs::LatencyHistogram& h = reg.add_histogram("reuse_ns", 1);
+  obs::Sampler sampler(reg, /*interval_ms=*/1, /*capacity=*/128);
+  std::uint64_t taken_before = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    h.record(100 + cycle, 0);
+    sampler.start();
+    EXPECT_TRUE(sampler.running());
+    sampler.start();  // idempotent while running
+    ASSERT_TRUE(wait_for_samples(sampler, taken_before + 2));
+    sampler.stop();
+    EXPECT_FALSE(sampler.running());
+    sampler.stop();  // idempotent while stopped
+    const std::uint64_t taken = sampler.samples_taken();
+    EXPECT_GT(taken, taken_before) << "cycle " << cycle;
+    taken_before = taken;
+  }
+  // History accumulated across all three cycles, oldest-to-newest.
+  const auto hist = sampler.history();
+  ASSERT_GE(hist.size(), 6u);
+  for (std::size_t i = 1; i < hist.size(); ++i)
+    EXPECT_GE(hist[i].at_ns, hist[i - 1].at_ns);
+}
+
+// After the ring evicts (capacity exceeded), latest() must still be the
+// newest retained snapshot — identical to history().back() — and the
+// window stays exactly `capacity` deep.
+TEST(ObsRegistry, SamplerLatestConsistentAfterEviction) {
+  obs::MetricsRegistry reg;
+  reg.add_histogram("evict_ns", 1);
+  const std::size_t cap = 4;
+  obs::Sampler sampler(reg, /*interval_ms=*/1, cap);
+  sampler.start();
+  // Far more samples than the ring holds: eviction must have happened.
+  ASSERT_TRUE(wait_for_samples(sampler, 4 * cap));
+  sampler.stop();
+  const auto hist = sampler.history();
+  ASSERT_EQ(hist.size(), cap);
+  EXPECT_GT(sampler.samples_taken(), cap);  // proof of eviction
+  const obs::RegistrySnapshot last = sampler.latest();
+  EXPECT_EQ(last.at_ns, hist.back().at_ns);
+  for (std::size_t i = 1; i < hist.size(); ++i)
+    EXPECT_GE(hist[i].at_ns, hist[i - 1].at_ns);
+  // Everything retained is the NEWEST tail of the series: each retained
+  // snapshot is newer than the eviction horizon implies possible for
+  // dropped ones (monotone at_ns is the observable proxy).
+  EXPECT_LT(hist.front().at_ns, last.at_ns);
 }
 
 // Regression: the sampler must hold an absolute cadence.  The old loop
@@ -611,13 +805,22 @@ TYPED_TEST(ObsKvTest, EndToEndMetricsPipeline) {
     EXPECT_GE(gauge_of("kv_resize_epochs_total"), 1.0);
     EXPECT_GE(gauge_of("kv_migrated_keys_total"), 0.0);
     EXPECT_GE(gauge_of("kv_wal_durable_lag"), 0.0);
+    // Loss accounting rides the gauge collector: with slow_op_ns=0 every
+    // op traced, so far more than trace_capacity events were pushed and
+    // the overwritten count must say exactly how many fell off.
+    const double overwritten = gauge_of("trace_events_overwritten");
+    EXPECT_GE(overwritten, 0.0);
+    EXPECT_EQ(overwritten,
+              static_cast<double>(store.metrics()->trace.overwritten()));
+    EXPECT_GE(gauge_of("trace_snapshot_torn"), 0.0);
 
     // Trace: slow_op_ns=0 means every op traced; cause tags well-formed,
     // and the forced-slow-path runs must attribute kSlowPath somewhere.
     const auto evs = store.metrics()->trace.snapshot();
     ASSERT_GT(evs.size(), 0u);
     EXPECT_GT(store.metrics()->trace.total_pushed(), 0u);
-    for (const auto& e : evs) EXPECT_LT(static_cast<unsigned>(e.cause), 5u);
+    for (const auto& e : evs)
+      EXPECT_LT(static_cast<unsigned>(e.cause), obs::kTraceCauseCount);
     if (std::string(TypeParam::name()).find("WFE") == 0) {
       const bool saw_slow_path =
           std::any_of(evs.begin(), evs.end(), [](const obs::TraceEvent& e) {

@@ -66,6 +66,7 @@
 #include "core/wfe.hpp"
 #include "harness/runner.hpp"
 #include "kv/kv_store.hpp"
+#include "obs/flight.hpp"
 #include "persist/recovery.hpp"
 #include "reclaim/hp.hpp"
 #include "scratch_dir.hpp"
@@ -123,6 +124,18 @@ kv::KvConfig oracle_cfg(const std::string& dir) {
   c.persistence.sync = persist::SyncMode::kBatched;
   c.persistence.flush_idle_us = 50;
   c.persistence.snapshot_on_open = false;  // keep reopen state inspectable
+  // The black box rides every kill: flight recorder next to the WAL
+  // (<dir>/flight.bin), sampler snapshots + slow-op traces feeding it,
+  // watchdog at a generous bound (nothing here should stall — a report
+  // in this harness would itself be a finding).
+  c.metrics.enabled = true;
+  c.metrics.sampler = true;
+  c.metrics.sample_interval_ms = 10;
+  c.metrics.sample_ring = 16;
+  c.metrics.slow_op_ns = 1000;  // trace plenty of ops into the box
+  c.metrics.flight = true;
+  c.metrics.watchdog.enabled = true;
+  c.metrics.watchdog.stall_bound_ns = 2'000'000'000;  // 2s
   return c;
 }
 
@@ -146,6 +159,7 @@ void run_kill_point(unsigned kill, const std::string& dir) {
   std::uint64_t mark_epoch = 0;       // table epoch the mid-run snapshot saw
   std::uint64_t mark_floor[64] = {};  // flavor B: snapshot marks by shard
 
+  const std::uint64_t t_open = obs::now_ns();
   {
     Store<TR> store(oracle_cfg<TR>(dir));
     const auto note = [&](std::uint64_t k, std::uint64_t v, bool is_rm) {
@@ -225,6 +239,30 @@ void run_kill_point(unsigned kill, const std::string& dir) {
     }
     final_epoch = store.table_epoch();
     tails = store.persist_crash();
+  }
+  const std::uint64_t kill_ns = obs::now_ns();
+
+  // ---- the black box: every killed run must leave a parseable flight
+  // file whose tail is consistent with the kill point — CRC-valid,
+  // seq-contiguous, timestamps bracketed by [open, kill].  This is the
+  // post-mortem contract: no matter where the crash landed, the last
+  // seconds are reconstructable. ----
+  {
+    const obs::FlightDump box =
+        obs::FlightRecorder::read_file(dir + "/flight.bin");
+    ASSERT_TRUE(box.ok) << "kill " << kill << ": black box unreadable: "
+                        << box.error;
+    ASSERT_FALSE(box.frames.empty())
+        << "kill " << kill << ": black box empty (open marker missing)";
+    std::uint64_t prev_seq = 0;
+    for (const obs::FlightFrame& f : box.frames) {
+      if (prev_seq != 0)
+        ASSERT_EQ(f.seq, prev_seq + 1)
+            << "kill " << kill << ": seq gap in black box";
+      prev_seq = f.seq;
+      ASSERT_GE(f.ts_ns, t_open) << "kill " << kill << ": frame predates open";
+      ASSERT_LE(f.ts_ns, kill_ns) << "kill " << kill << ": frame after kill";
+    }
   }
 
   // ---- play the kernel: keep a random cut of each unsynced tail.

@@ -1,0 +1,307 @@
+#!/usr/bin/env python3
+"""Reconstruct a WFE flight-recorder black box as JSON.
+
+Reads the mmap'd ring file the store writes (src/obs/flight.hpp),
+walks the CRC-valid, seq-contiguous suffix exactly like the in-process
+reader, and prints one JSON document: file-level facts plus the decoded
+records (trace events, sampler snapshots, stall reports, markers) in
+seq order -- the last seconds before a crash.
+
+Usage:
+    flightdump.py <flight.bin>        # dump to stdout as JSON
+    flightdump.py --self-check        # parse a synthesized image; exit 0/1
+
+No dependencies beyond the standard library.
+"""
+
+import json
+import struct
+import sys
+
+MAGIC = b"WFEFLT01"
+VERSION = 1
+HEADER_SIZE = 64
+FRAME_HEADER = 32
+ALIGN = 32
+
+FRAME_TYPES = {1: "marker", 2: "trace", 3: "snapshot", 4: "stall", 5: "pad"}
+
+OP_NAMES = [
+    "get", "put", "insert", "update", "remove",
+    "multi_get", "multi_put", "multi_remove", "wal_append", "stall",
+]
+CAUSE_NAMES = [
+    "none", "frozen-wait", "help-migration", "wal-backpressure",
+    "slow-path", "admit-throttle",
+]
+SITE_NAMES = [
+    "none", "kv-op", "wal-flusher", "resize-driver", "admit-driver",
+    "sampler",
+]
+
+NO_SHARD = 0xFFFFFFFF
+
+
+def _make_crc32c_table():
+    table = []
+    for i in range(256):
+        c = i
+        for _ in range(8):
+            c = (0x82F63B78 ^ (c >> 1)) if (c & 1) else (c >> 1)
+        table.append(c)
+    return table
+
+
+_CRC_TABLE = _make_crc32c_table()
+
+
+def crc32c(data, seed=0):
+    """CRC-32C (Castagnoli), matching src/util/crc32c.hpp."""
+    c = ~seed & 0xFFFFFFFF
+    for b in data:
+        c = _CRC_TABLE[(c ^ b) & 0xFF] ^ (c >> 8)
+    return ~c & 0xFFFFFFFF
+
+
+def frame_size(payload_len):
+    return (FRAME_HEADER + payload_len + ALIGN - 1) & ~(ALIGN - 1)
+
+
+def decode_frame(ring, cap, off):
+    """Decode one frame at ring offset `off`; None when invalid."""
+    if off + FRAME_HEADER > cap:
+        return None
+    crc, length = struct.unpack_from("<II", ring, off)
+    seq, ts_ns = struct.unpack_from("<QQ", ring, off + 8)
+    ftype = ring[off + 24]
+    if ftype < 1 or ftype > 5:
+        return None
+    if length > cap - FRAME_HEADER or off + frame_size(length) > cap:
+        return None
+    if seq == 0:
+        return None
+    if crc != crc32c(ring[off + 4 : off + FRAME_HEADER + length]):
+        return None
+    return {
+        "seq": seq,
+        "ts_ns": ts_ns,
+        "type": FRAME_TYPES[ftype],
+        "offset": off,
+        "payload": bytes(ring[off + FRAME_HEADER : off + FRAME_HEADER + length]),
+    }
+
+
+def parse_image(data):
+    """Parse a whole flight file image; mirrors FlightRecorder::parse."""
+    out = {"ok": False, "error": None, "capacity": 0, "head": 0,
+           "last_seq": 0, "frames": []}
+    if len(data) < HEADER_SIZE:
+        out["error"] = "file shorter than header"
+        return out
+    if data[:8] != MAGIC or struct.unpack_from("<I", data, 8)[0] != VERSION:
+        out["error"] = "bad magic/version"
+        return out
+    cap, head, last_seq = struct.unpack_from("<QQQ", data, 16)
+    out["capacity"], out["head"], out["last_seq"] = cap, head, last_seq
+    if cap == 0 or cap % ALIGN != 0 or HEADER_SIZE + cap > len(data):
+        out["error"] = "capacity inconsistent with file size"
+        return out
+    ring = data[HEADER_SIZE : HEADER_SIZE + cap]
+    # Probe at 32-byte steps from the head hint for the oldest intact
+    # frame (everything at-or-after the write point is the oldest
+    # surviving lap); a torn hint only costs extra probes.
+    start_probe = (head % cap) & ~(ALIGN - 1)
+    start = None
+    for i in range(cap // ALIGN):
+        off = (start_probe + i * ALIGN) % cap
+        if decode_frame(ring, cap, off) is not None:
+            start = off
+            break
+    out["ok"] = True
+    if start is None:
+        return out  # empty/fully-torn box is parseable, just bare
+    # Walk the seq-contiguous run; the first invalid frame or seq break
+    # is the torn tail at the write head.
+    off, walked, prev_seq = start, 0, 0
+    while walked < cap:
+        f = decode_frame(ring, cap, off)
+        if f is None or (prev_seq != 0 and f["seq"] != prev_seq + 1):
+            break
+        prev_seq = f["seq"]
+        fsz = frame_size(len(f["payload"]))
+        walked += fsz
+        off = (off + fsz) % cap
+        out["frames"].append(f)
+    return out
+
+
+def decode_record(frame):
+    """Expand a frame's payload into the record the box captured."""
+    rec = {"seq": frame["seq"], "ts_ns": frame["ts_ns"],
+           "type": frame["type"]}
+    p = frame["payload"]
+    if frame["type"] == "trace" and len(p) >= 26:
+        tseq, ns, shard, aux = struct.unpack_from("<QQII", p, 0)
+        op, cause = p[24], p[25]
+        rec["trace"] = {
+            "seq": tseq,
+            "ns": ns,
+            "shard": shard,
+            "aux": aux,
+            "op": OP_NAMES[op] if op < len(OP_NAMES) else "?",
+            "cause": CAUSE_NAMES[cause] if cause < len(CAUSE_NAMES) else "?",
+        }
+        if op == OP_NAMES.index("stall"):
+            # Watchdog reports pack (site << 24 | slot) into aux.
+            site = (aux >> 24) & 0xFF
+            rec["trace"]["stall_site"] = (
+                SITE_NAMES[site] if site < len(SITE_NAMES) else "?")
+            rec["trace"]["stall_slot"] = aux & 0x00FFFFFF
+    elif frame["type"] == "stall" and len(p) >= 32:
+        slot, = struct.unpack_from("<I", p, 0)
+        site, cause = p[4], p[5]
+        shard, = struct.unpack_from("<I", p, 8)
+        stall_ns, episode = struct.unpack_from("<QQ", p, 16)
+        rec["stall"] = {
+            "slot": slot,
+            "site": SITE_NAMES[site] if site < len(SITE_NAMES) else "?",
+            "cause": CAUSE_NAMES[cause] if cause < len(CAUSE_NAMES) else "?",
+            "shard": None if shard == NO_SHARD else shard,
+            "stall_ns": stall_ns,
+            "episode": episode,
+        }
+    elif frame["type"] == "snapshot":
+        try:
+            rec["snapshot"] = json.loads(p.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            rec["snapshot_raw"] = p.decode("utf-8", "replace")
+    elif frame["type"] == "marker":
+        rec["marker"] = p.decode("utf-8", "replace")
+    return rec
+
+
+def dump(path):
+    with open(path, "rb") as f:
+        data = f.read()
+    parsed = parse_image(data)
+    frames = parsed["frames"]
+    doc = {
+        "file": path,
+        "ok": parsed["ok"],
+        "error": parsed["error"],
+        "capacity": parsed["capacity"],
+        "head": parsed["head"],
+        "header_last_seq": parsed["last_seq"],
+        "frames_readable": len(frames),
+        "pads": sum(1 for f in frames if f["type"] == "pad"),
+        "first_seq": frames[0]["seq"] if frames else 0,
+        "last_seq": frames[-1]["seq"] if frames else 0,
+        "first_ts_ns": frames[0]["ts_ns"] if frames else 0,
+        "last_ts_ns": frames[-1]["ts_ns"] if frames else 0,
+        "records": [decode_record(f) for f in frames if f["type"] != "pad"],
+    }
+    return doc, parsed["ok"]
+
+
+# ---- --self-check: synthesize an image (frames + ring-end pad + wrap +
+# torn tail) in memory and assert this parser reconstructs it ----
+
+def _write_frame(ring, off, ftype, seq, ts_ns, payload):
+    fsz = frame_size(len(payload))
+    ring[off : off + fsz] = bytes(fsz)
+    struct.pack_into("<I", ring, off + 4, len(payload))
+    struct.pack_into("<QQ", ring, off + 8, seq, ts_ns)
+    ring[off + 24] = ftype
+    ring[off + FRAME_HEADER : off + FRAME_HEADER + len(payload)] = payload
+    struct.pack_into(
+        "<I", ring, off,
+        crc32c(ring[off + 4 : off + FRAME_HEADER + len(payload)]))
+    return fsz
+
+
+def self_check():
+    cap = 4096
+    ring = bytearray(cap)
+    head = 0
+    seq = 0
+    ts = 1_000_000
+
+    def append(ftype, payload):
+        nonlocal head, seq, ts
+        fsz = frame_size(len(payload))
+        off = head % cap
+        if off + fsz > cap:
+            seq += 1
+            _write_frame(ring, off, 5, seq, ts, bytes(cap - off - FRAME_HEADER))
+            head += cap - off
+            off = 0
+        seq += 1
+        ts += 1000
+        _write_frame(ring, off, ftype, seq, ts, payload)
+        head += fsz
+
+    trace_payload = struct.pack("<QQII", 7, 2_000_000, 3, 0) + bytes([1, 2]) + bytes(6)
+    stall_payload = struct.pack("<IBB", 9, 3, 1) + bytes(2) + struct.pack(
+        "<I", 0) + bytes(4) + struct.pack("<QQ", 5_000_000_000, 42)
+    append(1, b"open")
+    # Enough traffic to wrap the ring at least twice (forces pads + laps).
+    for i in range(200):
+        append(2, trace_payload)
+        if i % 17 == 0:
+            append(3, json.dumps({"at_ns": ts, "i": i}).encode())
+    append(4, stall_payload)
+    append(1, b"last-marker")
+
+    image = bytearray(HEADER_SIZE + cap)
+    image[:8] = MAGIC
+    struct.pack_into("<I", image, 8, VERSION)
+    struct.pack_into("<QQQ", image, 16, cap, head, seq)
+    image[HEADER_SIZE:] = ring
+
+    parsed = parse_image(bytes(image))
+    assert parsed["ok"], parsed["error"]
+    frames = parsed["frames"]
+    assert frames, "no frames recovered"
+    seqs = [f["seq"] for f in frames]
+    assert all(b == a + 1 for a, b in zip(seqs, seqs[1:])), "seq gap"
+    assert frames[-1]["seq"] == seq, f"lost tail: {frames[-1]['seq']} != {seq}"
+    assert frames[-1]["type"] == "marker"
+    assert decode_record(frames[-1])["marker"] == "last-marker"
+    stalls = [f for f in frames if f["type"] == "stall"]
+    assert stalls, "stall frame lost"
+    s = decode_record(stalls[-1])["stall"]
+    assert s["site"] == "resize-driver" and s["shard"] == 0
+    assert s["stall_ns"] == 5_000_000_000 and s["episode"] == 42
+
+    # Torn tail: corrupt one byte inside the newest frame; the parse must
+    # still succeed and simply stop before it.
+    torn = bytearray(image)
+    torn[HEADER_SIZE + frames[-1]["offset"] + FRAME_HEADER] ^= 0xFF
+    reparsed = parse_image(bytes(torn))
+    assert reparsed["ok"], reparsed["error"]
+    assert reparsed["frames"], "torn image lost everything"
+    assert reparsed["frames"][-1]["seq"] == seq - 1, "torn frame not excluded"
+
+    # A truncated/garbage file must fail cleanly, not trace back.
+    assert not parse_image(b"short")["ok"]
+    assert not parse_image(b"XXXXXXXX" + bytes(HEADER_SIZE))["ok"]
+
+    print("flightdump self-check OK "
+          f"({len(frames)} frames, {parsed['head']} bytes appended)")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-check":
+        return self_check()
+    if len(argv) != 2:
+        sys.stderr.write(__doc__)
+        return 2
+    doc, ok = dump(argv[1])
+    json.dump(doc, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
