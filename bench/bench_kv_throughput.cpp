@@ -43,6 +43,24 @@
 //                          "0,50"): chance each txn key is drawn from a
 //                          64-key hot set shared by all threads instead
 //                          of the full range
+//   WFE_KV_SCAN            0 disables the ordered-scan sweep (default 1)
+//   WFE_KV_SCAN_WIDTH_LIST comma list of scan widths in keys (default
+//                          "64,1024")
+//   WFE_KV_SCAN_UPD_LIST   comma list of update percents (default
+//                          "0,50"): that share of the threads becomes
+//                          dedicated writers hammering the scanned
+//                          range; rows carry "mode":"scan" with
+//                          keys/s (total and per scanner thread) plus
+//                          the store's scan_restarts counter — the
+//                          gate compares per-scanner keys/s under
+//                          write load against the upd=0 baseline
+//   WFE_KV_BST             0 disables the raw-BST upsert duel (default 1)
+//   WFE_KV_BST_THREAD_LIST comma list                    (default "4")
+//                          "mode":"bst_upsert" rows: the 50%-update
+//                          mix on a bare NatarajanBst, one row per
+//                          tracker x upsert path — the in-place
+//                          value-cell CAS must beat remove+insert on
+//                          every tracker (tools/bench_diff.py gates it)
 //   WFE_KV_SAT             0 disables the saturation sweep (default 1)
 //   WFE_KV_SAT_SECONDS     seconds per saturation window (default
 //                          max(1, WFE_BENCH_SECONDS): the admission
@@ -126,6 +144,7 @@
 
 #include "core/wfe.hpp"
 #include "core/wfe_ibr.hpp"
+#include "ds/natarajan_bst.hpp"
 #include "harness/runner.hpp"
 #include "kv/kv_store.hpp"
 #include "obs/registry.hpp"
@@ -192,12 +211,14 @@ struct Params {
   bool sync_none, sync_batched, sync_always;
   bool txn;
   bool sat;
+  bool scan, bst;
   double sat_seconds, sat_slo_ms;
   unsigned sat_repeats;
   std::string persist_dir;
   std::vector<unsigned> threads, shards, read_pcts, mbatch;
   std::vector<unsigned> txn_widths, txn_conflicts;
   std::vector<unsigned> sat_threads, sat_ratios;
+  std::vector<unsigned> scan_widths, scan_upds, bst_threads;
 };
 
 /// Every scheme in the repo: the paper's comparison set plus the
@@ -1061,6 +1082,175 @@ void run_saturation_one(const Params& pp, util::JsonWriter& j,
   }
 }
 
+/// Ordered-scan sweep: a 4-shard store with the secondary index on,
+/// the threads split into dedicated writers (`upd_pct` percent of
+/// them, at least one once upd_pct > 0) and scanners.  Scanners loop
+/// bounded range scans of `width` keys from random starting points;
+/// writers hammer put/remove over the same range, forcing tombstone
+/// helping and index churn under the scans.  The row's headline is
+/// visited keys/s per scanner thread — tools/bench_diff.py compares
+/// the under-write-load points against the upd=0 baseline of the same
+/// (tracker, width, threads) cell.
+template <class TR>
+void run_scan_one(const Params& pp, util::JsonWriter& j, unsigned nthreads,
+                  unsigned width, unsigned upd_pct) {
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, TR>;
+  const unsigned writers =
+      upd_pct == 0 ? 0
+                   : std::min(nthreads - 1,
+                              std::max(1u, nthreads * upd_pct / 100));
+  const unsigned scanners = nthreads - writers;
+  // A loaded point needs at least one of each role; threads=1 can only
+  // produce the baseline row.
+  if (scanners == 0 || (upd_pct > 0 && writers == 0) || width == 0 ||
+      width >= pp.key_range)
+    return;
+  kv::KvConfig cfg;
+  cfg.shards = 4;
+  cfg.buckets_per_shard = std::max<std::size_t>(64, 4096 / 4);
+  cfg.tracker.max_threads = nthreads;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  cfg.tracker.retire_batch = pp.retire_batch;
+  cfg.ordered_index = true;
+  cfg.metrics.enabled = true;
+  cfg.metrics.sampler = false;
+  Store store(cfg);
+  const std::uint64_t prefill = std::min(pp.prefill, pp.key_range);
+  util::Xoshiro256 seed_rng(42);
+  std::uint64_t inserted = 0;
+  while (inserted < prefill)
+    inserted +=
+        store.insert(seed_rng.next_bounded(pp.key_range) + 1, inserted, 0) ? 1
+                                                                           : 0;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> keys_seen(nthreads, 0), scans_done(nthreads, 0),
+      write_ops(nthreads, 0);
+  std::vector<std::thread> ths;
+  ths.reserve(nthreads);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (unsigned t = 0; t < nthreads; ++t)
+    ths.emplace_back([&, t] {
+      util::Xoshiro256 rng(0x5ca7 + 77 * t);
+      if (t < writers) {
+        while (!stop.load(std::memory_order_acquire)) {
+          const std::uint64_t k = rng.next_bounded(pp.key_range) + 1;
+          if (rng.percent(50))
+            store.put(k, k, t);
+          else
+            store.remove(k, t);
+          ++write_ops[t];
+        }
+      } else {
+        while (!stop.load(std::memory_order_acquire)) {
+          const std::uint64_t lo =
+              rng.next_bounded(pp.key_range - width) + 1;
+          keys_seen[t] += store.scan(
+              lo, lo + width - 1,
+              [](std::uint64_t, const std::uint64_t&) { return true; }, t);
+          ++scans_done[t];
+        }
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::duration<double>(pp.seconds));
+  stop.store(true, std::memory_order_release);
+  for (auto& th : ths) th.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::uint64_t keys = 0, scans = 0, wops = 0;
+  for (unsigned t = 0; t < nthreads; ++t) {
+    keys += keys_seen[t];
+    scans += scans_done[t];
+    wops += write_ops[t];
+  }
+  const double keys_per_sec = keys / elapsed;
+  const double keys_per_scanner = keys_per_sec / scanners;
+  const kv::KvStats st = store.stats();
+  std::printf(
+      "%-8s SCAN    threads=%-3u width=%-5u upd=%u%% (%uw/%us)  "
+      "%10.0f keys/s (%10.0f /scanner)  scans=%llu restarts=%llu "
+      "writer_mops=%.3f\n",
+      TR::name(), nthreads, width, upd_pct, writers, scanners, keys_per_sec,
+      keys_per_scanner, static_cast<unsigned long long>(scans),
+      static_cast<unsigned long long>(st.scan_restarts), wops / elapsed / 1e6);
+
+  j.begin_object();
+  j.kv("tracker", TR::name());
+  j.kv("mode", "scan");
+  j.kv("threads", nthreads);
+  j.kv("scan_width", width);
+  j.kv("upd_pct", upd_pct);
+  j.kv("writers", writers);
+  j.kv("scanners", scanners);
+  j.kv("keys_per_sec", keys_per_sec);
+  j.kv("keys_per_scanner_sec", keys_per_scanner);
+  j.kv("scans_per_sec", scans / elapsed);
+  j.kv("scan_ops", st.scan_ops);
+  j.kv("scan_keys", st.scan_keys);
+  j.kv("scan_restarts", st.scan_restarts);
+  j.kv("writer_mops", wops / elapsed / 1e6);
+  const obs::RegistrySnapshot snap = store.metrics()->registry.snapshot();
+  emit_latency_cols(j, snap, "kv_op_scan_ns", "scan");
+  j.end_object();
+}
+
+/// Raw-BST upsert duel: the 50%-update mix straight on a NatarajanBst
+/// (no store, no shards), one row per upsert path.  Encodes the PR's
+/// acceptance: the tombstone refactor's in-place value-cell CAS must
+/// beat whole-leaf remove+insert for every tracker.
+template <class TR>
+void run_bst_upsert_one(const Params& pp, util::JsonWriter& j,
+                        unsigned nthreads, bool inplace) {
+  using Bst = ds::NatarajanBst<std::uint64_t, TR>;
+  reclaim::TrackerConfig tcfg;
+  tcfg.max_threads = nthreads;
+  tcfg.max_hes = Bst::kSlotsNeeded;
+  tcfg.retire_batch = pp.retire_batch;
+  TR tracker(tcfg);
+  Bst bst(tracker);
+  const std::uint64_t prefill = std::min(pp.prefill, pp.key_range);
+  util::Xoshiro256 seed_rng(42);
+  std::uint64_t inserted = 0;
+  while (inserted < prefill)
+    inserted +=
+        bst.insert(seed_rng.next_bounded(pp.key_range) + 1, inserted, 0) ? 1
+                                                                         : 0;
+  harness::RunConfig rc;
+  rc.threads = nthreads;
+  rc.seconds = pp.seconds;
+  rc.repeats = pp.repeats;
+  harness::RunResult r = harness::run_timed(
+      rc,
+      [&](util::Xoshiro256& rng, unsigned tid) {
+        const std::uint64_t k = rng.next_bounded(pp.key_range) + 1;
+        if (rng.percent(50)) {
+          bst.get(k, tid);
+        } else if (inplace) {
+          bst.put(k, k, tid);
+        } else {
+          bst.put_copy(k, k, tid);
+        }
+      },
+      [&] { return tracker.unreclaimed(); });
+
+  std::printf("%-8s BST     threads=%-3u upsert=%-7s %8.3f Mops/s  "
+              "unreclaimed(avg)=%.0f\n",
+              TR::name(), nthreads, inplace ? "inplace" : "copy", r.mops,
+              r.avg_unreclaimed);
+  j.begin_object();
+  j.kv("tracker", TR::name());
+  j.kv("mode", "bst_upsert");
+  j.kv("threads", nthreads);
+  j.kv("read_pct", 50);
+  j.kv("upsert", inplace ? "inplace" : "copy");
+  j.kv("mops", r.mops);
+  j.kv("mops_stddev", r.mops_stddev);
+  j.kv("avg_unreclaimed", r.avg_unreclaimed);
+  j.end_object();
+}
+
 template <class TR>
 void run_tracker(const Params& pp, util::JsonWriter& j) {
   for (unsigned nshards : pp.shards) {
@@ -1107,6 +1297,15 @@ void run_tracker(const Params& pp, util::JsonWriter& j) {
       }
     }
   }
+  if (pp.scan)
+    for (unsigned nthreads : pp.threads)
+      for (unsigned w : pp.scan_widths)
+        for (unsigned upd : pp.scan_upds) run_scan_one<TR>(pp, j, nthreads, w, upd);
+  if (pp.bst)
+    for (unsigned nthreads : pp.bst_threads) {
+      run_bst_upsert_one<TR>(pp, j, nthreads, /*inplace=*/true);
+      run_bst_upsert_one<TR>(pp, j, nthreads, /*inplace=*/false);
+    }
   if (pp.sat && env_has_word("WFE_KV_SAT_TRACKERS", TR::name()))
     for (unsigned nthreads : pp.sat_threads)
       run_saturation_one<TR>(pp, j, nthreads);
@@ -1143,6 +1342,16 @@ int main() {
   pp.txn = harness::env_long("WFE_KV_TXN", 1) != 0;
   pp.txn_widths = env_list("WFE_KV_TXN_WIDTH_LIST", {2, 8});
   pp.txn_conflicts = env_list("WFE_KV_TXN_CONFLICT_LIST", {0, 50});
+  pp.scan = harness::env_long("WFE_KV_SCAN", 1) != 0;
+  pp.scan_widths = env_list("WFE_KV_SCAN_WIDTH_LIST", {64, 1024});
+  pp.scan_upds = env_list("WFE_KV_SCAN_UPD_LIST", {50});
+  // The upd=0 baseline every scan gate compares against is always in
+  // the sweep, listed or not.
+  if (std::find(pp.scan_upds.begin(), pp.scan_upds.end(), 0u) ==
+      pp.scan_upds.end())
+    pp.scan_upds.insert(pp.scan_upds.begin(), 0u);
+  pp.bst = harness::env_long("WFE_KV_BST", 1) != 0;
+  pp.bst_threads = env_list("WFE_KV_BST_THREAD_LIST", {4});
   pp.sat = harness::env_long("WFE_KV_SAT", 1) != 0;
   pp.sat_seconds =
       harness::env_double("WFE_KV_SAT_SECONDS", std::max(1.0, pp.seconds));

@@ -36,7 +36,8 @@ struct HashMapFactory {
 
 struct BstFactory {
   static constexpr bool kIsQueue = false;
-  static constexpr unsigned kSlots = 5;
+  // NatarajanBst::kSlotsNeeded: seek record + value cell.
+  static constexpr unsigned kSlots = 6;
   template <class TR>
   auto operator()(TR& trk) const {
     return std::make_unique<ds::NatarajanBst<Val, TR>>(trk);

@@ -1,38 +1,111 @@
 #pragma once
 // Natarajan-Mittal lock-free external BST [29] — the paper's tree
-// workload (Figs. 8 and 11).
+// workload (Figs. 8 and 11) — with leaf-local value-cell tombstones and
+// protection-disciplined ordered scans.
 //
-// External (leaf-oriented) tree: internal nodes route, leaves store keys.
-// Child edges carry two stolen bits:
-//   FLAG — the edge's target (always a leaf) is being deleted;
-//   TAG  — the edge must not grow (its parent node is being spliced out).
-// Deletion is two-phase: *injection* flags the parent→leaf edge, then
-// *cleanup* tags the sibling edge and splices the ancestor→successor edge
-// to the sibling, unlinking the parent (and any chain of tagged internals
-// between successor and parent that earlier stalled deletions left
-// behind).
+// External (leaf-oriented) tree: internal nodes route, leaves store
+// keys.  A leaf's value lives in a separately allocated, tracker-managed
+// ValueCell the leaf points to through an atomic word, exactly like
+// hm_list.hpp; the cell word's mark bit is the deletion tombstone.
 //
-// Reclamation: the thread whose splice CAS succeeds owns the entire
-// removed chain (it is unreachable and nobody else's CAS can touch it),
-// and retires every internal node on the successor→parent path plus each
-// one's flagged leaf.  Competing deleters observe their leaf gone on
-// re-seek and return without retiring, so each node is retired exactly
-// once and nothing leaks.
+// ## Tombstone deletion protocol
 //
-// Protection: five reservation slots hold the seek record (ancestor,
-// successor, parent, leaf) plus the node being read; advancing the record
-// moves coverage with copy_slot().  For era-family trackers (HE, WFE,
-// 2GEIBR, EBR) this is the discipline the reference IBR benchmark uses;
-// HP inherits the same link-stability validation as that benchmark.
+// Deletion has a LOGICAL phase and a PHYSICAL phase:
+//
+//   logical  — remove() linearizes at a CAS on the leaf's cell word,
+//              `cell → cell|MARK`, expecting the word unmarked.  The
+//              winner of that CAS owns the displaced cell and retires
+//              it; the mark is a permanent tombstone (no CAS ever
+//              expects a marked word), so the cell is retired exactly
+//              once and can never be resurrected.
+//   physical — the classic Natarajan-Mittal edge machinery, demoted to
+//              garbage collection: FLAG the parent→leaf edge, TAG the
+//              sibling edge, splice ancestor→sibling (Algorithm 5).
+//              ANY thread drives it — the tombstone winner until the
+//              leaf is unreachable, and every helper (an insert(),
+//              put() or update() that finds a tombstoned leaf in its
+//              way, or a competing remove()) best-effort.
+//
+// "Cell marked" is authoritative over the edge FLAG; the FLAG is now a
+// derived, physical-only signal:
+//
+//   * a FLAG is planted only after re-observing, under a reservation,
+//     that the leaf's cell is marked — so a flagged edge always names a
+//     logically deleted leaf, and the ABA hazard of helping by node
+//     address (leaf freed, address reused by a same-key re-insert)
+//     cannot flag a live leaf: the reincarnated leaf's cell is unmarked;
+//   * upserts linearize at a cell-word CAS that expects an UNMARKED
+//     word.  Mark-then-flag ordering makes lost updates impossible: a
+//     successful upsert CAS proves the leaf was not tombstoned at that
+//     instant, hence not yet flagged, hence still reachable — under the
+//     old edge-flag linearization a leaf-local swap could succeed after
+//     the flag landed, an update no linearization order can absorb
+//     (which is why this tree used whole-leaf replacement until now;
+//     put_copy() keeps that path as the benchmarks' baseline);
+//   * readers consult only the cell word: key present ⇔ terminal leaf
+//     holds the key AND its cell is unmarked.
+//
+// Reclamation: the thread whose splice CAS succeeds owns the removed
+// chain and retires every internal node on the successor→parent path
+// plus each one's flagged leaf — NODES ONLY; each flagged leaf's cell
+// was already retired by its tombstone winner.  Ledger identity: a live
+// key owns three blocks (leaf + routing internal + cell) on top of the
+// five construction-time sentinel blocks (kStructuralBlocks).
+//
+// Protection: six reservation slots — the seek record (ancestor,
+// successor, parent, leaf) plus the node being read, plus the value
+// cell (for WFE the leaf is the cell read's parent block, paper §3.4).
+// For era-family trackers (HE, WFE, 2GEIBR, EBR) this is the discipline
+// the reference IBR benchmark uses; HP inherits the same link-stability
+// validation as that benchmark.
+//
+// ## Ordered scans
+//
+// scan(lo, hi, fn) iterates the range in ascending key order with a
+// KEY-valued cursor and repeated root-to-leaf descents (seek_ceil):
+// each descent lands on the least leaf with key >= cursor, the visitor
+// runs on unmarked cells only, and the cursor advances to key+1.  The
+// walk is protection-disciplined — hand-over-hand protect_word with the
+// same slot budget as seek — but carries NO pointer state across
+// descents, so the tracker session can be fenced (end_op/begin_op)
+// every kScanChunk visited leaves without invalidating anything: after
+// a fence the next descent simply restarts from the cursor key.  That
+// bounds how long any scheme's reservations pin garbage (for EBR/QSBR
+// the fence is what lets reclamation advance at all during a wide
+// scan).  A descent that a concurrent splice led astray (terminal key
+// below the cursor) is restarted and counted in scan_restarts().
+//
+// Why a descent's answer can be trusted — the CLEAN-EDGE discipline:
+// unlike seek() (whose callers re-validate with CAS), a scan descent
+// refuses to walk through a dirty edge.  Every child edge of a node is
+// dirtied BEFORE the splice that unlinks it — leaf edges are FLAGged by
+// injection, kept edges are TAGged by cleanup, and chain interiors were
+// dirtied by the stalled deletions that formed the chain — and both
+// bits are sticky.  So when protect_word's validating re-read returns a
+// CLEAN word, the parent was not yet spliced out (hence reachable) at
+// that instant, which makes the published reservation on the child
+// sound even for pointer-validating schemes (HP): the child cannot have
+// been retired before the reservation existed.  It also keeps the
+// routing LIVE: every node on the walk was reachable when stepped
+// through, node keys are immutable, and a live node's covered key-range
+// only widens (splices promote the sibling over the parent's range), so
+// the leaf a clean walk lands on is the one live leaf covering the
+// cursor — no key present throughout the scan can sit below it
+// unvisited, and breaking/advancing past its key is authoritative
+// whether its cell is marked or not.  A DIRTY edge means some
+// deletion's physical phase is in flight right there: the scan helps it
+// to completion (physical_remove on the flagged leaf's key) and
+// restarts the descent — counted in scan_restarts().
 
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <utility>
 
 #include "reclaim/tracker.hpp"
-#include "util/cacheline.hpp"
 #include "util/marked_ptr.hpp"
 
 namespace wfe::ds {
@@ -45,18 +118,27 @@ class NatarajanBst {
   /// Largest usable key: the top three values are the ∞₀ < ∞₁ < ∞₂
   /// sentinels.
   static constexpr K kMaxKey = std::numeric_limits<K>::max() - 3;
-  static constexpr unsigned kSlotsNeeded = 5;
+  static constexpr unsigned kSlotsNeeded = 6;
+  /// Construction-time blocks (three sentinel leaves + the S and R
+  /// internals; sentinels carry no cells), for ledger arithmetic.
+  static constexpr std::size_t kStructuralBlocks = 5;
+  /// Blocks a live key owns: leaf + routing internal + value cell.
+  static constexpr std::size_t kBlocksPerKey = 3;
+  /// Visited leaves between scan-session fences (see header).
+  static constexpr std::size_t kScanChunk = 64;
 
   explicit NatarajanBst(Tracker& tracker) : tracker_(tracker) {
     // Sentinel skeleton (Natarajan-Mittal Fig. 1): every real key is
     // smaller than ∞₀ and therefore lives in S's left subtree.
-    Node* leaf_inf0 = tracker_.template alloc<Node>(0, kInf0, V{});
-    Node* leaf_inf1 = tracker_.template alloc<Node>(0, kInf1, V{});
-    Node* leaf_inf2 = tracker_.template alloc<Node>(0, kInf2, V{});
-    s_ = tracker_.template alloc<Node>(0, kInf1, V{});
+    // Sentinel leaves have no value cell (cell == 0); no operation ever
+    // dereferences it because their keys exceed kMaxKey.
+    Node* leaf_inf0 = tracker_.template alloc<Node>(0, kInf0);
+    Node* leaf_inf1 = tracker_.template alloc<Node>(0, kInf1);
+    Node* leaf_inf2 = tracker_.template alloc<Node>(0, kInf2);
+    s_ = tracker_.template alloc<Node>(0, kInf1);
     s_->left.store(util::pack_ptr(leaf_inf0), std::memory_order_relaxed);
     s_->right.store(util::pack_ptr(leaf_inf1), std::memory_order_relaxed);
-    r_ = tracker_.template alloc<Node>(0, kInf2, V{});
+    r_ = tracker_.template alloc<Node>(0, kInf2);
     r_->left.store(util::pack_ptr(s_), std::memory_order_relaxed);
     r_->right.store(util::pack_ptr(leaf_inf2), std::memory_order_relaxed);
   }
@@ -69,40 +151,37 @@ class NatarajanBst {
 
   bool insert(const K& key, const V& value, unsigned tid) {
     tracker_.begin_op(tid);
-    const bool ok = insert_impl(key, value, tid);
+    const bool ok = upsert_impl(key, value, tid, Upsert::kInsert);
     tracker_.end_op(tid);
     return ok;
   }
 
-  /// Insert-or-replace: leaf values are immutable, so replacing a key
-  /// removes the old leaf and inserts a fresh one (the reclamation
-  /// traffic of the paper's Figs. 9-11).  Returns true when the key was
-  /// absent; momentary absence is visible to concurrent readers
-  /// (benchmark-standard upsert semantics).
-  ///
-  /// WHY THIS TREE KEEPS remove+insert WHILE HmList GAINED IN-PLACE
-  /// VALUE CELLS (see hm_list.hpp): the list could adopt a leaf-local
-  /// cell swap because its deletion mark already lives IN the node being
-  /// deleted, so remove's linearization point could move onto the cell
-  /// word itself (the tombstone fetch_or), making "cell CAS succeeded"
-  /// and "key still present" the same atomic event.  In this external
-  /// BST, remove() linearizes at the FLAG CAS on the parent→leaf EDGE —
-  /// state the leaf cannot see.  A leaf-local cell CAS can therefore
-  /// succeed after the flag has landed, yielding a lost update that no
-  /// linearization order can absorb (a reader that already observed the
-  /// key absent precedes the "successful" update in real time).  Fixing
-  /// that means moving the delete mark into the leaf: readers would
-  /// have to consult a leaf tombstone, insert() would have to help
-  /// physically splice tombstoned leaves before re-inserting, and the
-  /// two-phase injection/cleanup helping protocol (Algorithms 2/5)
-  /// would need re-proving around the new linearization point.  That is
-  /// a redesign of the Natarajan-Mittal protocol, not a local patch, so
-  /// the tree intentionally stays on whole-leaf replacement; the kv
-  /// engine's update-heavy paths are served by the hash map.
+  /// Insert-or-replace, in place: a present key's cell word is
+  /// CAS-swapped and the displaced cell retired — no node unlink, no
+  /// re-insert, no momentary absence.  Returns true when the key was
+  /// absent.
   bool put(const K& key, const V& value, unsigned tid) {
     tracker_.begin_op(tid);
+    const bool was_absent = upsert_impl(key, value, tid, Upsert::kPut);
+    tracker_.end_op(tid);
+    return was_absent;
+  }
+
+  /// Replace-if-present; false (no write) when absent.
+  bool update(const K& key, const V& value, unsigned tid) {
+    tracker_.begin_op(tid);
+    const bool updated = upsert_impl(key, value, tid, Upsert::kUpdate);
+    tracker_.end_op(tid);
+    return updated;
+  }
+
+  /// Remove+re-insert upsert: the pre-tombstone baseline (momentary
+  /// absence is visible to concurrent readers), kept so the figure
+  /// benches can price what the in-place path saves.
+  bool put_copy(const K& key, const V& value, unsigned tid) {
+    tracker_.begin_op(tid);
     bool was_absent = true;
-    while (!insert_impl(key, value, tid)) {
+    while (!upsert_impl(key, value, tid, Upsert::kInsert)) {
       was_absent = false;
       remove_impl(key, tid);
     }
@@ -116,7 +195,12 @@ class NatarajanBst {
     SeekRecord sr;
     seek(key, sr, tid);
     std::optional<V> out;
-    if (sr.leaf->key == key) out = sr.leaf->value;
+    if (sr.leaf->key == key) {
+      const std::uintptr_t cw =
+          tracker_.protect_word(sr.leaf->cell, kSlotCell, tid, sr.leaf);
+      if (!util::is_marked(cw))
+        out = util::unpack_ptr<ValueCell>(cw)->value;
+    }
     tracker_.end_op(tid);
     return out;
   }
@@ -131,7 +215,40 @@ class NatarajanBst {
     return out;
   }
 
-  /// Quiescent count of real (non-sentinel) leaves.
+  /// Ordered scan of [lo, hi] (inclusive, clamped to kMaxKey): fn(key,
+  /// value) runs for every unmarked leaf in the range, ascending, each
+  /// key at most once.  Keys present for the whole scan are visited;
+  /// keys concurrently inserted/removed may or may not be.  Returns the
+  /// number of keys visited.  See the header for the session-fence and
+  /// restart semantics.
+  template <class Fn>
+  std::size_t scan(K lo, K hi, Fn&& fn, unsigned tid) {
+    return scan_impl(lo, hi, tid, [&](const K& k, const V& v) {
+      fn(k, v);
+      return true;
+    });
+  }
+
+  /// Bounded collect: at most `max` pairs from [lo, hi] into out[],
+  /// ascending; returns the count.
+  std::size_t range_get(K lo, K hi, std::pair<K, V>* out, std::size_t max,
+                        unsigned tid) {
+    if (max == 0) return 0;
+    std::size_t n = 0;
+    scan_impl(lo, hi, tid, [&](const K& k, const V& v) {
+      out[n++] = {k, v};
+      return n < max;
+    });
+    return n;
+  }
+
+  /// Descents restarted because a concurrent splice led them astray
+  /// (monotonic; racy snapshot).
+  std::uint64_t scan_restarts() const noexcept {
+    return scan_restarts_.load(std::memory_order_relaxed);
+  }
+
+  /// Quiescent count of live (non-sentinel, unmarked) leaves.
   std::size_t size_unsafe() const noexcept { return count_leaves(r_); }
 
  private:
@@ -145,13 +262,27 @@ class NatarajanBst {
   static constexpr unsigned kSlotParent = 2;
   static constexpr unsigned kSlotLeaf = 3;
   static constexpr unsigned kSlotCurrent = 4;
+  static constexpr unsigned kSlotCell = 5;
+  /// seek_ceil never forms an ancestor/successor pair; its deepest
+  /// left-turn anchor reuses the successor slot.
+  static constexpr unsigned kSlotTurn = kSlotSuccessor;
+
+  struct ValueCell : reclaim::Block {
+    explicit ValueCell(const V& v) : value(v) {}
+    const V value;  ///< immutable: updates swap the whole cell
+  };
 
   struct Node : reclaim::Block {
-    Node(K k, const V& v) : key(k), value(v) {}
+    explicit Node(K k) : key(k) {}
     const K key;
-    const V value;  // immutable: updates replace the leaf (see put())
     std::atomic<std::uintptr_t> left{0};
     std::atomic<std::uintptr_t> right{0};
+    /// Leaves only (internal nodes and sentinel leaves keep 0):
+    /// ValueCell* | mark.  Marked = key logically deleted (tombstone;
+    /// remove()'s linearization point, the cell already retired by the
+    /// marking thread).  Every mutating CAS expects the word unmarked,
+    /// so a marked word is frozen forever.
+    std::atomic<std::uintptr_t> cell{0};
 
     bool is_leaf() const noexcept {
       return util::strip(left.load(std::memory_order_acquire)) == 0;
@@ -165,6 +296,8 @@ class NatarajanBst {
     Node* leaf;
   };
 
+  enum class Upsert { kInsert, kPut, kUpdate };
+
   /// Child link of `node` on the search path of `key`.
   static std::atomic<std::uintptr_t>* child_link(Node* node, K key) noexcept {
     return key < node->key ? &node->left : &node->right;
@@ -173,7 +306,25 @@ class NatarajanBst {
   /// Natarajan-Mittal seek (Algorithm 2): walk to the terminal leaf,
   /// remembering the deepest node whose path edge was untagged
   /// (ancestor) and its path child (successor).
+  ///
+  /// Reclamation-safety of the walk (the ANCHOR rule): the
+  /// ancestor→successor edge doubles as a staleness detector.  Below
+  /// it, every path edge was TAGGED when crossed (else the record would
+  /// have advanced), and tags are sticky — so any splice that retires a
+  /// node of that segment must either CAS the anchor edge itself (it is
+  /// the splice's ancestor edge) or first tag it (the anchor edge sits
+  /// inside a larger chain).  Both change the word.  Re-reading the
+  /// anchor edge AFTER publishing each step's reservation therefore
+  /// proves the step's target was not yet retired when the reservation
+  /// existed — exactly what pointer-validating schemes (HP) need, since
+  /// a retired node's edges are frozen and re-reading them validates
+  /// nothing.  On mismatch the walk restarts from the root; sticky
+  /// dirty bits make each restart evidence of global progress (some
+  /// flag, tag, or splice landed), so lock-freedom is preserved.  The
+  /// anchor's owner is pinned by the kSlotAncestor reservation, so the
+  /// re-read itself never touches freed memory.
   void seek(K key, SeekRecord& sr, unsigned tid) {
+  restart:
     sr.ancestor = r_;
     sr.successor = s_;
     sr.parent = s_;
@@ -182,11 +333,23 @@ class NatarajanBst {
     tracker_.clear_slot(kSlotAncestor, tid);
     tracker_.clear_slot(kSlotSuccessor, tid);
     tracker_.clear_slot(kSlotParent, tid);
+    // The safety anchor runs one edge DEEPER than the record: it must
+    // cover the edge into the node about to be dereferenced, while the
+    // record by design never incorporates the final parent→leaf edge.
+    // r_->left is immutable (s_ is permanent), a trivially valid seed.
+    const std::atomic<std::uintptr_t>* anchor_addr = &r_->left;
+    std::uintptr_t anchor_word = r_->left.load(std::memory_order_acquire);
     std::uintptr_t parent_field =
         tracker_.protect_word(s_->left, kSlotLeaf, tid, s_);
     sr.leaf = util::unpack_ptr<Node>(parent_field);
+    if (!util::is_tagged(parent_field)) {
+      anchor_addr = &s_->left;
+      anchor_word = parent_field;
+    }
     std::uintptr_t current_field =
         tracker_.protect_word(*child_link(sr.leaf, key), kSlotCurrent, tid, sr.leaf);
+    if (anchor_addr->load(std::memory_order_acquire) != anchor_word)
+      goto restart;
     Node* current = util::unpack_ptr<Node>(current_field);
     while (current != nullptr) {
       if (!util::is_tagged(parent_field)) {
@@ -200,26 +363,80 @@ class NatarajanBst {
       sr.leaf = current;
       tracker_.copy_slot(kSlotCurrent, kSlotLeaf, tid);
       parent_field = current_field;
+      // sr.parent→sr.leaf is the edge we are about to continue through;
+      // fold it into the safety anchor before reading sr.leaf's fields.
+      if (!util::is_tagged(parent_field)) {
+        anchor_addr = child_link(sr.parent, key);
+        anchor_word = parent_field;
+      }
       current_field =
           tracker_.protect_word(*child_link(current, key), kSlotCurrent, tid, current);
+      if (anchor_addr->load(std::memory_order_acquire) != anchor_word)
+        goto restart;
       current = util::unpack_ptr<Node>(current_field);
     }
   }
 
-  bool insert_impl(K key, const V& value, unsigned tid) {
+  /// insert / put / update, unified around the cell protocol.  Returns:
+  /// kInsert — inserted (false: key present); kPut — key was absent;
+  /// kUpdate — updated (false: key absent).
+  bool upsert_impl(K key, const V& value, unsigned tid, Upsert mode) {
     assert(key <= kMaxKey);
     Node* new_leaf = nullptr;
     Node* new_internal = nullptr;
+    ValueCell* new_cell = nullptr;
+    const auto discard = [&] {  // never-published cached blocks
+      if (new_leaf != nullptr) tracker_.dealloc(new_leaf, tid);
+      if (new_internal != nullptr) tracker_.dealloc(new_internal, tid);
+      if (new_cell != nullptr) tracker_.dealloc(new_cell, tid);
+    };
     SeekRecord sr;
     for (;;) {
       seek(key, sr, tid);
       if (sr.leaf->key == key) {
-        if (new_leaf != nullptr) tracker_.dealloc(new_leaf, tid);  // never published
-        if (new_internal != nullptr) tracker_.dealloc(new_internal, tid);
+        std::uintptr_t cw =
+            tracker_.protect_word(sr.leaf->cell, kSlotCell, tid, sr.leaf);
+        if (util::is_marked(cw)) {
+          // Logically absent behind a tombstone: help the physical
+          // splice, then re-evaluate (a fresh same-key leaf needs a
+          // fresh insertion).
+          help_remove(key, sr, tid);
+          if (mode == Upsert::kUpdate) {
+            discard();
+            return false;
+          }
+          continue;
+        }
+        if (mode == Upsert::kInsert) {
+          discard();
+          return false;
+        }
+        if (new_cell == nullptr)
+          new_cell = tracker_.template alloc<ValueCell>(tid, value);
+        // LINEARIZATION POINT (present-key upsert): swap the cell.
+        // Succeeding against an unmarked word proves the leaf was not
+        // tombstoned — hence not flagged, hence reachable — at the
+        // instant of the swap (mark precedes flag precedes splice).
+        if (sr.leaf->cell.compare_exchange_strong(
+                cw, util::pack_ptr(new_cell), std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          tracker_.retire(util::unpack_ptr<ValueCell>(cw), tid);
+          new_cell = nullptr;  // published
+          discard();
+          return mode == Upsert::kUpdate;
+        }
+        continue;  // lost to a concurrent upsert or tombstone: re-resolve
+      }
+      // Terminal leaf holds a different key: the key is absent.
+      if (mode == Upsert::kUpdate) {
+        discard();
         return false;
       }
       std::atomic<std::uintptr_t>* child_addr = child_link(sr.parent, key);
-      if (new_leaf == nullptr) new_leaf = tracker_.template alloc<Node>(tid, key, value);
+      if (new_cell == nullptr)
+        new_cell = tracker_.template alloc<ValueCell>(tid, value);
+      if (new_leaf == nullptr) new_leaf = tracker_.template alloc<Node>(tid, key);
+      new_leaf->cell.store(util::pack_ptr(new_cell), std::memory_order_relaxed);
       // The new internal routes between the existing leaf and ours; its
       // key is the larger of the two (external-BST invariant: left < key,
       // right >= key).  Node keys are immutable, so if the colliding leaf
@@ -230,7 +447,7 @@ class NatarajanBst {
         new_internal = nullptr;
       }
       if (new_internal == nullptr)
-        new_internal = tracker_.template alloc<Node>(tid, route, V{});
+        new_internal = tracker_.template alloc<Node>(tid, route);
       Node* internal = new_internal;
       if (key < sr.leaf->key) {
         internal->left.store(util::pack_ptr(new_leaf), std::memory_order_relaxed);
@@ -243,7 +460,7 @@ class NatarajanBst {
       if (child_addr->compare_exchange_strong(expected, util::pack_ptr(internal),
                                               std::memory_order_acq_rel,
                                               std::memory_order_acquire)) {
-        return true;
+        return true;  // inserted (leaf, internal and cell all published)
       }
       // CAS failed: if the edge still targets our leaf but is flagged or
       // tagged, a deletion is pending at this node — help it finish.
@@ -255,35 +472,78 @@ class NatarajanBst {
   }
 
   std::optional<V> remove_impl(K key, unsigned tid) {
-    bool injected = false;
-    Node* leaf = nullptr;
-    std::optional<V> out;
     SeekRecord sr;
     for (;;) {
       seek(key, sr, tid);
-      if (!injected) {
-        // Injection phase: flag the parent→leaf edge.
-        leaf = sr.leaf;
-        if (leaf->key != key) return std::nullopt;
-        std::atomic<std::uintptr_t>* child_addr = child_link(sr.parent, key);
-        std::uintptr_t expected = util::pack_ptr(leaf);
-        if (child_addr->compare_exchange_strong(
-                expected, util::pack_ptr(leaf, util::kMarkBit),
-                std::memory_order_acq_rel, std::memory_order_acquire)) {
-          out = leaf->value;
-          injected = true;
-          if (cleanup(key, sr, tid)) return out;
-        } else if (util::unpack_ptr<Node>(expected) == leaf &&
-                   util::bits_of(expected) != 0) {
-          cleanup(key, sr, tid);  // help the competing deletion
-        }
-      } else {
-        // Cleanup phase: our flag is planted; splice until the leaf is
-        // gone.  A different leaf at the terminal position means another
-        // thread completed the splice for us.
-        if (sr.leaf != leaf) return out;
-        if (cleanup(key, sr, tid)) return out;
+      if (sr.leaf->key != key) return std::nullopt;
+      std::uintptr_t cw =
+          tracker_.protect_word(sr.leaf->cell, kSlotCell, tid, sr.leaf);
+      if (util::is_marked(cw)) {
+        // A competing deletion already linearized.  Help its physical
+        // phase (its winner also drives it) and report absent.
+        help_remove(key, sr, tid);
+        return std::nullopt;
       }
+      // LINEARIZATION POINT: tombstone the cell.  Winning this CAS is
+      // the logical delete; the winner owns the displaced cell (no
+      // other CAS can touch a marked word) and retires it exactly once.
+      if (sr.leaf->cell.compare_exchange_strong(cw, cw | util::kMarkBit,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        ValueCell* cell = util::unpack_ptr<ValueCell>(cw);
+        std::optional<V> out(cell->value);
+        tracker_.retire(cell, tid);
+        physical_remove(key, tid);
+        return out;
+      }
+      // Lost to a concurrent upsert or deletion: re-resolve from seek.
+    }
+  }
+
+  /// One best-effort physical-splice attempt for a tombstoned leaf the
+  /// caller just observed (cell marked under the caller's reservation).
+  /// `key` need not equal sr.leaf->key — it only has to ROUTE to
+  /// sr.leaf along the recorded path (seek(key) produced sr), because
+  /// help_remove and cleanup consume it solely through `key <
+  /// node->key` side picks, which key and sr.leaf->key answer alike on
+  /// that path (scan helping relies on this).  Plants the parent→leaf
+  /// FLAG if still absent — safe because the mark was re-checked on
+  /// THIS leaf, so a reused address can never get a live leaf flagged —
+  /// then runs one cleanup round.  Callers re-seek and re-evaluate.
+  void help_remove(K key, const SeekRecord& sr, unsigned tid) {
+    std::atomic<std::uintptr_t>* child_addr = child_link(sr.parent, key);
+    std::uintptr_t expected = util::pack_ptr(sr.leaf);
+    child_addr->compare_exchange_strong(
+        expected, util::pack_ptr(sr.leaf, util::kMarkBit),
+        std::memory_order_acq_rel, std::memory_order_acquire);
+    // Flag planted, already present, or the edge moved on — cleanup
+    // resolves all three (including helping a sibling-key deletion that
+    // tagged our edge).
+    cleanup(key, sr, tid);
+  }
+
+  /// Physical phase driven by the tombstone winner: splice until no
+  /// tombstoned leaf for `key` is reachable.  Helping is key-addressed:
+  /// if our leaf was already spliced and the key re-inserted and
+  /// re-tombstoned, the loop simply helps the successor deletion, which
+  /// needs the same work.
+  void physical_remove(K key, unsigned tid) {
+    SeekRecord sr;
+    for (;;) {
+      seek(key, sr, tid);
+      if (sr.leaf->key != key) return;  // unreachable: done
+      const std::uintptr_t cw =
+          tracker_.protect_word(sr.leaf->cell, kSlotCell, tid, sr.leaf);
+      // Unmarked ⇒ a fresh leaf re-inserted this key, which is only
+      // possible after ours was spliced (insert helps tombstones out of
+      // its way first): done.
+      if (!util::is_marked(cw)) return;
+      std::atomic<std::uintptr_t>* child_addr = child_link(sr.parent, key);
+      std::uintptr_t expected = util::pack_ptr(sr.leaf);
+      child_addr->compare_exchange_strong(
+          expected, util::pack_ptr(sr.leaf, util::kMarkBit),
+          std::memory_order_acq_rel, std::memory_order_acquire);
+      if (cleanup(key, sr, tid)) return;
     }
   }
 
@@ -345,7 +605,10 @@ class NatarajanBst {
   /// Retires the spliced-out chain: internals successor..parent and each
   /// one's flagged leaf.  Only the winning splicer calls this, the chain
   /// is unreachable, and nobody else retires these nodes (stalled
-  /// deleters see their leaf vanish on re-seek and give up).
+  /// deleters see their leaf vanish on re-seek and give up).  NODES
+  /// ONLY: every flagged leaf is tombstoned (flags are planted only on
+  /// marked-cell leaves), so its cell was already retired by the thread
+  /// that won the mark CAS.
   void retire_chain(Node* successor, Node* parent, Node* removed_leaf,
                     unsigned tid) {
     Node* node = successor;
@@ -366,10 +629,145 @@ class NatarajanBst {
     tracker_.retire(parent, tid);
   }
 
+  /// The scan descent stepped onto a FLAGged or TAGged edge: a
+  /// deletion's physical phase is in flight (or stalled) right on the
+  /// cursor's routing path.  Crossing it would be unsound — a
+  /// spliced-out node's edges are frozen dirty forever, so the walk
+  /// could ride into memory whose reservation was published after the
+  /// retire (the HP use-after-free class) — and so would reading the
+  /// dirty edge's target to learn which key to help.  Instead, help by
+  /// ROUTE: a fresh seek(k) reaches the same parked deletion (the dirty
+  /// edge sits on k's path), and both help_remove and cleanup consume
+  /// the key only through `key < node->key` comparisons, which k
+  /// answers identically to the stuck leaf's own key along the recorded
+  /// path.  A marked terminal gets the full flag+cleanup help; an
+  /// unmarked one still runs cleanup, which completes any tagged splice
+  /// pinned at sr.parent (its phantom guard makes the clean case a
+  /// no-op).  Always returns nullptr: the caller restarts the descent.
+  Node* help_scan_edge(K k, unsigned tid) {
+    SeekRecord sr;
+    seek(k, sr, tid);
+    const std::uintptr_t cw =
+        tracker_.protect_word(sr.leaf->cell, kSlotCell, tid, sr.leaf);
+    if (util::is_marked(cw))
+      help_remove(k, sr, tid);
+    else
+      cleanup(k, sr, tid);
+    return nullptr;
+  }
+
+  /// One root-to-leaf descent landing on the least leaf with key >= k
+  /// (a sentinel when no real key qualifies), protected in kSlotLeaf.
+  /// Phase 1 is the ordinary search descent, remembering the deepest
+  /// node whose path edge turned LEFT (k < node->key) in kSlotTurn; if
+  /// the terminal leaf's key is below k, the ceiling is the leftmost
+  /// leaf of that node's right subtree (no key can live in [k,
+  /// turn->key) on the other side — the routing argument in the header
+  /// of scan_impl), which phase 2 descends.
+  ///
+  /// Unlike seek(), the walk enforces the CLEAN-EDGE discipline (header
+  /// doc): a FLAGged/TAGged edge is never crossed — the deletion parked
+  /// there is helped and nullptr returned so the caller restarts from
+  /// the same cursor.  Every node stepped through was therefore
+  /// reachable when its edge validated, which is what makes both
+  /// phases' routing arguments and the reclamation reservations sound.
+  Node* seek_ceil(K k, unsigned tid) {
+    Node* turn = nullptr;
+    tracker_.clear_slot(kSlotTurn, tid);
+    tracker_.clear_slot(kSlotLeaf, tid);
+    // k <= kMaxKey < kInf2, so the walk always left-turns at r_ (a
+    // permanent sentinel: readable without a reservation; its edges are
+    // never dirtied because sentinels are never deleted).
+    Node* node = r_;
+    std::uintptr_t next_w = tracker_.protect_word(r_->left, kSlotCurrent, tid, r_);
+    Node* next = util::unpack_ptr<Node>(next_w);
+    turn = r_;
+    while (next != nullptr) {
+      if (util::bits_of(next_w) != 0) return help_scan_edge(k, tid);
+      node = next;
+      tracker_.copy_slot(kSlotCurrent, kSlotLeaf, tid);
+      const bool left = k < node->key;
+      next_w = tracker_.protect_word(left ? node->left : node->right,
+                                     kSlotCurrent, tid, node);
+      next = util::unpack_ptr<Node>(next_w);
+      // Only internal nodes anchor phase 2 (a leaf's null edge ends the
+      // walk without becoming the turn).
+      if (left && next != nullptr) {
+        turn = node;
+        tracker_.copy_slot(kSlotLeaf, kSlotTurn, tid);
+      }
+    }
+    if (node->key >= k) return node;
+    // Phase 2: leftmost leaf of turn->right (turn is pinned in kSlotTurn
+    // and was reachable when recorded; if it has since been spliced, its
+    // right edge is dirty and the first step below restarts the walk).
+    // A dirty edge here is helped via turn->key, not k: the leftmost
+    // path of turn->right IS turn->key's routing path (equal keys route
+    // right at turn, then strictly left below), so a fresh seek reaches
+    // the parked deletion.
+    next_w = tracker_.protect_word(turn->right, kSlotCurrent, tid, turn);
+    next = util::unpack_ptr<Node>(next_w);
+    if (util::bits_of(next_w) != 0) return help_scan_edge(turn->key, tid);
+    while (next != nullptr) {
+      node = next;
+      tracker_.copy_slot(kSlotCurrent, kSlotLeaf, tid);
+      next_w = tracker_.protect_word(node->left, kSlotCurrent, tid, node);
+      next = util::unpack_ptr<Node>(next_w);
+      if (util::bits_of(next_w) != 0) return help_scan_edge(turn->key, tid);
+    }
+    return node->key >= k ? node : nullptr;
+  }
+
+  /// Shared scan loop; fn returns false to stop early.
+  template <class Fn>
+  std::size_t scan_impl(K lo, K hi, unsigned tid, Fn&& fn) {
+    if (hi > kMaxKey) hi = kMaxKey;
+    if (lo > hi) return 0;
+    std::size_t visited = 0;
+    std::size_t chunk = 0;
+    K cursor = lo;
+    tracker_.begin_op(tid);
+    for (;;) {
+      Node* leaf = seek_ceil(cursor, tid);
+      if (leaf == nullptr) {
+        scan_restarts_.fetch_add(1, std::memory_order_relaxed);
+        continue;  // transient mid-splice view; retry the same cursor
+      }
+      if (leaf->key > hi) break;  // sentinel or past the range: done
+      // The clean-edge walk proves `leaf` was reachable, so its key is
+      // an authoritative cursor position either way; a marked cell just
+      // means the key is logically deleted (tombstoned, splice pending)
+      // and is skipped without visiting.
+      const std::uintptr_t cw =
+          tracker_.protect_word(leaf->cell, kSlotCell, tid, leaf);
+      if (!util::is_marked(cw)) {
+        ++visited;
+        if (!fn(leaf->key, util::unpack_ptr<ValueCell>(cw)->value)) break;
+      }
+      if (leaf->key >= hi) break;  // also guards cursor overflow at kMaxKey
+      cursor = leaf->key + 1;
+      if (++chunk == kScanChunk) {
+        chunk = 0;
+        // Session fence: the cursor is a key, so dropping every
+        // reservation here invalidates nothing — the next descent
+        // restarts from the root anyway (see header).
+        tracker_.end_op(tid);
+        tracker_.begin_op(tid);
+      }
+    }
+    tracker_.end_op(tid);
+    return visited;
+  }
+
   void dealloc_subtree(Node* node) {
     if (node == nullptr) return;
     dealloc_subtree(util::unpack_ptr<Node>(node->left.load(std::memory_order_relaxed)));
     dealloc_subtree(util::unpack_ptr<Node>(node->right.load(std::memory_order_relaxed)));
+    // A marked cell was retired by its tombstone winner; an unmarked one
+    // is still owned by the (live) leaf.
+    const std::uintptr_t cw = node->cell.load(std::memory_order_relaxed);
+    if (cw != 0 && !util::is_marked(cw))
+      tracker_.dealloc(util::unpack_ptr<ValueCell>(cw), 0);
     tracker_.dealloc(node, 0);
   }
 
@@ -377,7 +775,10 @@ class NatarajanBst {
     if (node == nullptr) return 0;
     const Node* l =
         util::unpack_ptr<Node>(node->left.load(std::memory_order_relaxed));
-    if (l == nullptr) return node->key <= kMaxKey ? 1 : 0;
+    if (l == nullptr) {
+      if (node->key > kMaxKey) return 0;
+      return util::is_marked(node->cell.load(std::memory_order_relaxed)) ? 0 : 1;
+    }
     const Node* r =
         util::unpack_ptr<Node>(node->right.load(std::memory_order_relaxed));
     return count_leaves(l) + count_leaves(r);
@@ -386,6 +787,7 @@ class NatarajanBst {
   Tracker& tracker_;
   Node* r_;  // root sentinel (key ∞₂)
   Node* s_;  // second sentinel (key ∞₁)
+  std::atomic<std::uint64_t> scan_restarts_{0};
 };
 
 }  // namespace wfe::ds

@@ -32,6 +32,11 @@ struct Workload {
   OpMix mix = OpMix::kWrite5050;
   std::uint64_t key_range = 100000;  ///< keys uniform in (0, key_range)
   std::uint64_t prefill = 50000;     ///< elements inserted before timing
+  /// Read-mostly mixes only: route upserts through the in-place path
+  /// (value-cell CAS: put()) instead of whole-node replacement
+  /// (remove+insert: put_copy()).  Figure benches sweep this via
+  /// WFE_BENCH_UPSERT_LIST.
+  bool upsert_inplace = false;
 };
 
 /// One operation against a key-value structure (list / hash map / BST).
@@ -51,12 +56,16 @@ void kv_op(S& s, const Workload& w, util::Xoshiro256& rng, unsigned tid) {
       if (rng.percent(90)) {
         s.get(key, tid);
       } else if constexpr (requires { s.put_copy(key, key, tid); }) {
-        // The paper's read-mostly figures (9-11) measure remove+insert
-        // upserts; structures that grew an in-place path keep exposing
-        // the original semantics as put_copy — use it so figure rows
-        // stay comparable across PRs (and to the BST, which has no
-        // in-place path).
-        s.put_copy(key, key, tid);
+        // The paper's read-mostly figures (9-11) measured remove+insert
+        // upserts, preserved as put_copy().  Every KV structure — list,
+        // hash map, and (since the tombstone refactor) the BST — also
+        // has an in-place put() that CASes the leaf's value cell; the
+        // workload knob picks which path the figure row measures.
+        if (w.upsert_inplace) {
+          s.put(key, key, tid);
+        } else {
+          s.put_copy(key, key, tid);
+        }
       } else {
         s.put(key, key, tid);
       }

@@ -121,11 +121,14 @@
 #include <shared_mutex>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "admit/controller.hpp"
 #include "ds/hash_map.hpp"
+#include "ds/natarajan_bst.hpp"
+#include "kv/batch_retire.hpp"
 #include "kv/shard.hpp"
 #include "kv/stats.hpp"
 #include "obs/export.hpp"
@@ -194,6 +197,14 @@ struct KvConfig {
   /// on (the controller consumes their signals); refused ops throw
   /// kv::Overloaded.
   admit::AdmitOptions admission;
+  /// Secondary ordered index (a store-level Natarajan BST over the key
+  /// space in its own tracker domain): enables scan(lo, hi)/range_get
+  /// ordered range reads.  Requires unsigned 64-bit keys no larger than
+  /// the BST's kMaxKey.  Geometry-independent — resharding never
+  /// touches it.  Writes pay one extra membership op on insert/remove
+  /// transitions; values are never duplicated (scans fetch them from
+  /// the primary table).
+  bool ordered_index = false;
 };
 
 template <class K, class V, reclaim::tracker_for Tracker>
@@ -203,6 +214,10 @@ class KvStore {
   static constexpr unsigned kSlotsNeeded = ShardT::kSlotsNeeded;
   static constexpr bool kPersistable =
       persist::wal_encodable<K> && persist::wal_encodable<V>;
+  /// The secondary ordered index keys its BST with the key value itself,
+  /// so it needs an order-preserving 64-bit unsigned key space.
+  static constexpr bool kOrderable =
+      std::is_integral_v<K> && std::is_unsigned_v<K> && sizeof(K) == 8;
 
   /// With persistence enabled, construction runs crash recovery on
   /// cfg.persistence.dir (thread slot 0 replays; call before any
@@ -255,6 +270,21 @@ class KvStore {
                                                   cfg_.tracker.max_threads);
       metrics_->registry.add_collector(
           [this](std::vector<obs::GaugeValue>& out) { collect_gauges(out); });
+    }
+    if (cfg_.ordered_index) {
+      if constexpr (kOrderable) {
+        // Before open_persistent(): recovery replay runs through the
+        // ordinary put()/remove() entry points, whose index hooks
+        // repopulate the index for free.
+        reclaim::TrackerConfig ic = cfg_.tracker;
+        ic.max_hes =
+            std::max<unsigned>(ic.max_hes, OrderedIndex::Bst::kSlotsNeeded);
+        index_ = std::make_unique<OrderedIndex>(ic);
+      } else {
+        std::fprintf(stderr,
+                     "KvStore: ordered_index requires unsigned 64-bit keys\n");
+        std::abort();
+      }
     }
     if (cfg_.persistence.enabled) {
       if constexpr (kPersistable) {
@@ -321,6 +351,7 @@ class KvStore {
       while (!shard_in(*t, key).try_put(key, value, tid, was_absent))
         t = wait_forward(*t, key, tid);
     }
+    index_add(key, tid);
     if (was_absent) counters_.inc(kNetInserts, tid);
     maybe_auto_grow(tid);
     maybe_auto_snapshot(tid);
@@ -344,6 +375,7 @@ class KvStore {
       while (!shard_in(*t, key).try_put_copy(key, value, tid, saw_present))
         t = wait_forward(*t, key, tid);
     }
+    index_add(key, tid);
     if (!saw_present) counters_.inc(kNetInserts, tid);
     maybe_auto_grow(tid);
     maybe_auto_snapshot(tid);
@@ -363,7 +395,10 @@ class KvStore {
       while (!shard_in(*t, key).try_insert(key, value, tid, inserted))
         t = wait_forward(*t, key, tid);
     }
-    if (inserted) counters_.inc(kNetInserts, tid);
+    if (inserted) {
+      index_add(key, tid);
+      counters_.inc(kNetInserts, tid);
+    }
     maybe_auto_grow(tid);
     maybe_auto_snapshot(tid);
     if (metrics_ && mt0 != 0)
@@ -392,6 +427,12 @@ class KvStore {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
     obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write();
+    // Index entry goes FIRST: dropping it after the primary remove could
+    // race a concurrent re-insert's index_add and delete the LIVE entry
+    // (primary key with no index entry — a key scans would never see).
+    // The other order's worst case is only a transient stale entry,
+    // which scans already self-heal (see index_add).
+    index_drop(key, tid);
     std::optional<V> out;
     {
       TableGuard g(*this, tid);
@@ -501,6 +542,8 @@ class KvStore {
         pend.swap(defer);
       }
     }
+    if (index_)
+      for (std::size_t i = 0; i < n; ++i) index_add(ops[i].first, tid);
     counters_.inc(kNetInserts, tid, inserted);
     maybe_auto_grow(tid);
     maybe_auto_snapshot(tid);
@@ -524,6 +567,9 @@ class KvStore {
     const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
     obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write(n);
+    // Index-first for the same reason as remove().
+    if (index_)
+      for (std::size_t i = 0; i < n; ++i) index_drop(keys[i], tid);
     std::size_t removed = 0;
     {
       TableGuard g(*this, tid);
@@ -565,6 +611,44 @@ class KvStore {
     return out;
   }
 
+  // ---- ordered range scans (KvConfig::ordered_index; 0 results when
+  // the index is off).  The index BST yields keys in ascending order in
+  // bounded chunks; each chunk's values are then fetched from the
+  // primary table, so a scan never reads a value the primary doesn't
+  // currently hold.  Keys present in the primary for the whole scan are
+  // visited exactly once; concurrently inserted/removed keys may or may
+  // not appear.  A stale index entry (possible only transiently, from a
+  // cross-thread put/remove race on one key) misses its primary lookup
+  // and is skipped.  Between chunks the scan drops every reservation
+  // (the cursor is a key, not a pointer) and beats the liveness
+  // watchdog, so arbitrarily wide scans neither pin reclamation nor
+  // false-positive as stalls. ----
+
+  /// Visit every pair with lo <= key <= hi in ascending key order:
+  /// fn(key, value).  Returns the number of keys visited.
+  template <class Fn>
+  std::size_t scan(const K& lo, const K& hi, Fn&& fn, unsigned tid) {
+    return scan_bounded(lo, hi, tid, [&](const K& k, const V& v) {
+      fn(k, v);
+      return true;
+    });
+  }
+
+  /// Bounded collect: at most `max` ascending pairs from [lo, hi] into
+  /// out[]; returns the count.
+  std::size_t range_get(const K& lo, const K& hi, std::pair<K, V>* out,
+                        std::size_t max, unsigned tid) {
+    if (max == 0) return 0;
+    std::size_t n = 0;
+    scan_bounded(lo, hi, tid, [&](const K& k, const V& v) {
+      out[n++] = {k, v};
+      return n < max;
+    });
+    return n;
+  }
+
+  bool ordered_index_enabled() const noexcept { return index_ != nullptr; }
+
   // ---- cross-shard atomic transactions (src/txn/; file header) ----
 
   /// Applies every write buffered in `txn` as one crash-atomic unit and
@@ -585,6 +669,13 @@ class KvStore {
     obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
     gate_write(tops.size());
     const std::uint64_t id = 1 + txn_seq_.fetch_add(1, std::memory_order_relaxed);
+    // Index maintenance brackets the install like the point ops: drops
+    // first, adds after.  Index membership is per key, not per txn —
+    // crash atomicity is the primary table's concern (the index is
+    // rebuilt from replay), so a commit torn across the brackets is fine.
+    if (index_)
+      for (const auto& op : tops)
+        if (op.is_remove) index_drop(op.key, tid);
     std::uint64_t total_pairs = 0;
     std::size_t inserted = 0, removed = 0;
     std::uint64_t commit_lsn = 0;
@@ -645,6 +736,9 @@ class KvStore {
       for (const auto& [w, lsn] : acks) w->ack(lsn);
       if (commit_wal != nullptr) commit_wal->ack(commit_lsn);
     }
+    if (index_)
+      for (const auto& op : tops)
+        if (!op.is_remove) index_add(op.key, tid);
     counters_.inc(kNetInserts, tid, inserted);
     counters_.inc(kNetRemoves, tid, removed);
     counters_.inc(kTxnCommits, tid);
@@ -770,6 +864,7 @@ class KvStore {
       TableGuard g(*this, tid);
       for (auto& s : g.table->shards) s->flush_retired(tid);
     }
+    if (index_) index_->batched.flush(tid);
     collect_retired_tables();  // after the guard: our announce is idle
   }
 
@@ -862,6 +957,26 @@ class KvStore {
     st.forwarded_ops = counters_.sum(kForwarded);
     st.helped_buckets = counters_.sum(kHelpedBuckets);
     st.help_conflicts = counters_.sum(kHelpConflicts);
+    if (index_) {
+      st.ordered_index = true;
+      st.scan_ops = counters_.sum(kScanOps);
+      st.scan_keys = counters_.sum(kScanKeys);
+      st.scan_restarts = index_->tree.scan_restarts();
+      // The index domain's reclamation ledger, in the shape
+      // tests/kv_balance.hpp closes: subtracting the BST's construction
+      // sentinels leaves exactly kBlocksPerKey blocks per live key.
+      ShardStats& ix = st.index;
+      ix.allocated =
+          index_->tracker.allocated() - OrderedIndex::Bst::kStructuralBlocks;
+      ix.freed = index_->tracker.freed();
+      ix.retired = index_->tracker.retired();
+      ix.unreclaimed = index_->tracker.unreclaimed();
+      ix.retire_backlog = index_->tracker.retire_backlog();
+      ix.pending_retired = index_->batched.pending_retired();
+      ix.batch_flushes = index_->batched.batch_flushes();
+      if constexpr (requires(const Tracker& t) { t.slow_path_entries(); })
+        ix.slow_path_entries = index_->tracker.slow_path_entries();
+    }
     st.persist_enabled = cfg_.persistence.enabled;
     st.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
     st.txn_commits = counters_.sum(kTxnCommits);
@@ -1082,6 +1197,13 @@ class KvStore {
     g("kv_txn_ops_total", t.txn_ops);
     g("kv_txn_commits_total", st.txn_commits);
     g("kv_approx_size", approx_size());
+    if (st.ordered_index) {
+      g("kv_scan_ops_total", st.scan_ops);
+      g("kv_scan_keys_total", st.scan_keys);
+      g("kv_scan_restarts_total", st.scan_restarts);
+      g("kv_index_unreclaimed", st.index.unreclaimed);
+      g("kv_index_pending_retired", st.index.pending_retired);
+    }
     if (metrics_) {
       // Trace-loss accounting: how much of the event stream attribution
       // is NOT seeing (lapped slots + snapshot-torn skips).
@@ -1117,6 +1239,96 @@ class KvStore {
     if (admit_ && !admit_->admit_write(static_cast<std::uint32_t>(
                       std::min<std::size_t>(n, 0xffffffffu))))
       throw Overloaded(true);
+  }
+
+  // ---- secondary ordered index internals ----
+
+  /// The index is one store-level BST over the key space, in its OWN
+  /// tracker domain (same scheme, same tid space as the shards) behind
+  /// the same batched-retire facade.  It stores membership only — a
+  /// one-byte marker value — and is geometry-independent: resharding
+  /// migrates primary pairs between tables and never touches it.
+  struct OrderedIndex {
+    using Bst = ds::NatarajanBst<std::uint8_t, BatchedTracker<Tracker>>;
+    explicit OrderedIndex(const reclaim::TrackerConfig& c)
+        : tracker(c), batched(tracker), tree(batched) {}
+    Tracker tracker;
+    BatchedTracker<Tracker> batched;
+    Bst tree;
+  };
+
+  static std::uint64_t index_key(const K& key) noexcept {
+    return static_cast<std::uint64_t>(key);
+  }
+
+  /// Membership hooks.  Mutators keep a per-thread program-order
+  /// contract: put/insert add the index entry AFTER the primary install
+  /// (a scan after the call returns sees the key), remove drops it
+  /// BEFORE the primary erase (a scan after the call returns does not).
+  /// Cross-thread races on one key can strand a STALE entry — index key
+  /// with no primary pair — which scans skip (primary miss) and which
+  /// the key's next insert/remove cycle reuses or drops; stale entries
+  /// are never purged from the scan path, because a purge can race a
+  /// concurrent re-insert's index_add and delete a live entry.
+  void index_add(const K& key, unsigned tid) {
+    if (index_) index_->tree.insert(index_key(key), 1, tid);
+  }
+  void index_drop(const K& key, unsigned tid) {
+    if (index_) index_->tree.remove(index_key(key), tid);
+  }
+
+  /// Scan driver shared by scan() and range_get(); fn returns false to
+  /// stop early.  Chunked: up to kScanBatch ascending keys from the
+  /// index per round, then per-key primary lookups under one table
+  /// guard, then a watchdog beat — the scan holds no reservation and no
+  /// announcement across rounds.
+  template <class Fn>
+  std::size_t scan_bounded(const K& lo, const K& hi, unsigned tid, Fn&& fn) {
+    if (!index_ || index_key(lo) > index_key(hi)) return 0;
+    const std::uint64_t mt0 = metrics_ ? metrics_->op_begin() : 0;
+    obs::BeatScope hb(wd(), tid, obs::Site::kKvOp);
+    gate_read();
+    static constexpr std::size_t kScanBatch = 128;
+    static thread_local std::vector<std::pair<std::uint64_t, std::uint8_t>>
+        chunk;
+    chunk.resize(kScanBatch);
+    std::size_t visited = 0;
+    std::uint64_t cursor = index_key(lo);
+    const std::uint64_t end = index_key(hi);
+    bool more = true;
+    while (more) {
+      const std::size_t n =
+          index_->tree.range_get(cursor, end, chunk.data(), kScanBatch, tid);
+      if (n == 0) break;
+      {
+        TableGuard g(*this, tid);
+        for (std::size_t i = 0; i < n && more; ++i) {
+          const K k = static_cast<K>(chunk[i].first);
+          std::optional<V> v;
+          // Each key restarts from the guarded table: forwarding is
+          // per-key (wait_forward only waits on THAT key's bucket), so
+          // a table reached by forwarding key A may not hold an
+          // un-migrated key B yet.
+          Table* t = g.table;
+          while (!shard_in(*t, k).try_get(k, tid, v))
+            t = wait_forward(*t, k, tid);
+          if (v.has_value()) {
+            ++visited;
+            more = fn(k, *v);
+          }
+        }
+      }
+      if (chunk[n - 1].first >= end || n < kScanBatch) break;
+      cursor = chunk[n - 1].first + 1;
+      // Liveness beat between chunks: restarts the watchdog's stall
+      // clock so a legitimately wide scan is not reported as a hang.
+      obs::beat();
+    }
+    counters_.inc(kScanOps, tid);
+    counters_.inc(kScanKeys, tid, visited);
+    if (metrics_ && mt0 != 0)
+      record_op(obs::OpKind::kScan, metrics_->op_scan, mt0, tid, lo);
+    return visited;
   }
 
   std::size_t shard_index_in(const Table& t, const K& key) const noexcept {
@@ -1553,6 +1765,12 @@ class KvStore {
   /// Per-thread table-epoch announcements (kIdle when not in an op).
   reclaim::detail::PerThread<std::atomic<std::uint64_t>> announce_;
 
+  /// Secondary ordered index (null unless cfg.ordered_index).  Declared
+  /// before tables_ so it outlives the primary table teardown; its
+  /// batched facade flushes in its own dtor (nothing gates it — the
+  /// index never attaches a WAL).
+  std::unique_ptr<OrderedIndex> index_;
+
   mutable std::mutex resize_mu_;  ///< serializes resize; guards tables_, history_
   std::vector<std::unique_ptr<Table>> tables_;  ///< owns current + retired
   std::vector<ResizeRecord> history_;
@@ -1561,7 +1779,7 @@ class KvStore {
 
   enum Lane : unsigned {
     kForwarded, kNetInserts, kNetRemoves, kHelpedBuckets, kHelpConflicts,
-    kTxnCommits,
+    kTxnCommits, kScanOps, kScanKeys,
     kLanes
   };
   util::PerThreadCounters<kLanes> counters_;

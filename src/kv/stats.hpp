@@ -115,6 +115,18 @@ struct KvStats {
   // ---- transactions (src/txn/) ----
   std::uint64_t txn_commits = 0;  ///< multi-key commits completed
 
+  // ---- ordered index & range scans (zeros when disabled) ----
+  bool ordered_index = false;
+  std::uint64_t scan_ops = 0;       ///< scan()/range_get() calls completed
+  std::uint64_t scan_keys = 0;      ///< keys visited across all scans
+  std::uint64_t scan_restarts = 0;  ///< index descents restarted mid-splice
+  /// Reclamation ledger of the secondary index's own tracker domain
+  /// (op-lane counters stay zero; `allocated` has the index BST's
+  /// construction-time sentinel blocks already subtracted, so the
+  /// 3-blocks-per-live-key identity of tests/kv_balance.hpp closes on
+  /// it directly).
+  ShardStats index;
+
   // ---- admission control (src/admit/; zeros when disabled) ----
   bool admit_enabled = false;
   double admit_write_rate = 0;   ///< current token-bucket rate, ops/s

@@ -65,6 +65,7 @@ class KvMetrics {
         op_update(registry.add_histogram("kv_op_update_ns", lanes)),
         op_remove(registry.add_histogram("kv_op_remove_ns", lanes)),
         op_multi(registry.add_histogram("kv_op_multi_ns", lanes)),
+        op_scan(registry.add_histogram("kv_op_scan_ns", lanes)),
         wal_fsync(registry.add_histogram("kv_wal_fsync_ns", lanes)),
         wal_commit_wait(
             registry.add_histogram("kv_wal_commit_wait_ns", lanes)),
@@ -165,6 +166,7 @@ class KvMetrics {
   LatencyHistogram& op_update;
   LatencyHistogram& op_remove;
   LatencyHistogram& op_multi;
+  LatencyHistogram& op_scan;
   LatencyHistogram& wal_fsync;
   LatencyHistogram& wal_commit_wait;
   LatencyHistogram& migrate_bucket;

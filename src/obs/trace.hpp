@@ -42,11 +42,12 @@ enum class OpKind : std::uint8_t {
   kMultiGet,
   kMultiPut,
   kMultiRemove,
+  kScan,       ///< ordered range scan through the secondary index
   kWalAppend,  ///< not a kv op: a WAL ring-backpressure episode
   kStall,      ///< not a kv op: a watchdog stall report (aux = site/slot)
 };
 
-inline constexpr unsigned kOpKindCount = 10;
+inline constexpr unsigned kOpKindCount = 11;
 
 enum class TraceCause : std::uint8_t {
   kNone = 0,         ///< plain slow op (allocator, scheduler, cache)
@@ -69,6 +70,7 @@ inline const char* name(OpKind k) noexcept {
     case OpKind::kMultiGet: return "multi_get";
     case OpKind::kMultiPut: return "multi_put";
     case OpKind::kMultiRemove: return "multi_remove";
+    case OpKind::kScan: return "scan";
     case OpKind::kWalAppend: return "wal_append";
     case OpKind::kStall: return "stall";
   }

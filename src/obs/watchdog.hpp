@@ -115,6 +115,19 @@ inline void beat_shard(std::uint32_t shard) noexcept {
     hb->shard.store(shard, std::memory_order_relaxed);
 }
 
+/// Liveness beat for long single ops (wide range scans): bumps the armed
+/// slot's episode so the scanner's stall clock restarts.  beat_shard()
+/// alone does NOT do this — the scanner keys its clock on the episode
+/// counter only — so a legitimately long op that merely refreshed the
+/// shard field would still be reported as stalled.  Owner-thread
+/// plain load+store, same discipline as arm()/disarm().
+inline void beat() noexcept {
+  if (HeartbeatSlot* hb = tls_heartbeat; hb != nullptr) {
+    hb->episode.store(hb->episode.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+  }
+}
+
 class Watchdog {
  public:
   /// `reserved_slots` are owned by kv thread slots (index == tid);

@@ -19,7 +19,7 @@ using namespace wfe;
 reclaim::TrackerConfig bst_cfg() {
   reclaim::TrackerConfig c;
   c.max_threads = 4;
-  c.max_hes = 5;  // seek record: ancestor, successor, parent, leaf, current
+  c.max_hes = 6;  // seek record: ancestor, successor, parent, leaf, current, cell
   c.era_freq = 8;
   c.cleanup_freq = 4;
   return c;

@@ -356,6 +356,61 @@ TEST(Watchdog, IdleStoreSoakNoFalsePositives) {
   EXPECT_FALSE(d.frames.empty());
 }
 
+// Wide ordered scans are legitimately long ops: a scan over thousands
+// of keys under a 50ms stall bound would trip a naive watchdog.  The
+// scan path beats between index chunks (obs::beat() restarts the
+// episode clock), so a soak of continuous full-range scans against
+// concurrent writers must end with ZERO stall reports.
+TEST(Watchdog, WideScansUnderTightBoundNoFalsePositives) {
+  using Store = kv::KvStore<std::uint64_t, std::uint64_t, core::WfeTracker>;
+  kv::KvConfig cfg;
+  cfg.shards = 2;
+  cfg.buckets_per_shard = 64;
+  cfg.ordered_index = true;
+  cfg.tracker.max_threads = 3;
+  cfg.tracker.max_hes = Store::kSlotsNeeded;
+  cfg.metrics.enabled = true;
+  cfg.metrics.sampler = false;
+  cfg.metrics.watchdog.enabled = true;
+  cfg.metrics.watchdog.stall_bound_ns = 50'000'000;  // 50ms, tight
+  cfg.metrics.watchdog.scan_interval_ms = 10;
+  Store store(cfg);
+  ASSERT_NE(store.watchdog(), nullptr);
+  static constexpr std::uint64_t kKeys = 6000;  // many index chunks wide
+  for (std::uint64_t k = 1; k <= kKeys; ++k) store.put(k, k, 0);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t k = 1 + (i * 2654435761u) % kKeys;
+      if (i % 3 == 0) store.remove(k, 1);
+      else store.put(k, i, 1);
+      ++i;
+    }
+  });
+  // Scans run well past several stall bounds' worth of wall time.
+  const auto end =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  std::uint64_t scanned = 0;
+  std::uint64_t passes = 0;
+  while (std::chrono::steady_clock::now() < end || passes == 0) {
+    scanned += store.scan(
+        1, kKeys, [](std::uint64_t, const std::uint64_t&) { return true; },
+        2);
+    ++passes;
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  // At least one full-range pass completed; a pass sees fewer than kKeys
+  // keys when the writer has some transiently removed, so gate on half.
+  EXPECT_GE(passes, 1u);
+  EXPECT_GT(scanned, kKeys / 2);
+  EXPECT_EQ(store.watchdog()->stalls_detected(), 0u)
+      << "wide scans misreported as stalls";
+  EXPECT_GT(store.stats().scan_ops, 0u);
+}
+
 // ---------------------------------------------------------------------
 // Acceptance: the parked resizer
 // ---------------------------------------------------------------------

@@ -28,7 +28,7 @@ TEST(Integration, MultipleStructuresShareOneTracker) {
   // "universal" in the paper's title.
   reclaim::TrackerConfig cfg;
   cfg.max_threads = 4;
-  cfg.max_hes = 5;
+  cfg.max_hes = ds::NatarajanBst<std::uint64_t, core::WfeTracker>::kSlotsNeeded;
   core::WfeTracker tracker(cfg);
   {
     ds::TreiberStack<std::uint64_t, core::WfeTracker> stack(tracker);
@@ -130,7 +130,7 @@ TEST(Integration, EbrUnboundedVsEraBounded) {
 TEST(Integration, ForcedSlowPathAcrossAllStructures) {
   reclaim::TrackerConfig cfg;
   cfg.max_threads = 4;
-  cfg.max_hes = 5;
+  cfg.max_hes = ds::NatarajanBst<std::uint64_t, core::WfeTracker>::kSlotsNeeded;
   cfg.force_slow_path = true;
   cfg.era_freq = 2;
   cfg.cleanup_freq = 2;

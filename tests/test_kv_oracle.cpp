@@ -22,6 +22,16 @@
 // the commit returns), cas (present keys must swap exactly once, wrong
 // expectations must not write) and incr (exact running sums).
 //
+// Ordered access: the store runs with the secondary ordered index ON,
+// and the streams include kScan ops — each thread scans windows of its
+// OWN slice and diffs the visited (key, value) sequence against the
+// reference's ordered view of that window.  Slice-locality makes the
+// expected window deterministic mid-run even though the index tree
+// itself takes fully concurrent insert/remove/scan traffic from all
+// threads (and, in resize mode, scans that forward across frozen
+// buckets).  At quiescence the index's own reclamation domain must
+// close on the 3-blocks-per-live-key ledger identity.
+//
 // Resize-aware mode: a dedicated control thread interleaves online
 // resize() calls with each phase's traffic (and phases themselves start
 // from whatever geometry the previous phase ended on — "random phase
@@ -33,6 +43,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -71,7 +82,7 @@ unsigned ops_per_thread() {
 struct Op {
   enum Kind : std::uint8_t { kInsert, kPut, kUpdate, kRemove, kGet,
                              kMultiPut, kMultiGet, kMultiRemove,
-                             kTxn, kCas, kIncr };
+                             kTxn, kCas, kIncr, kScan };
   Kind kind;
   std::uint64_t key;    // base key for multi-ops and txns
   std::uint64_t value;  // for kTxn also the per-key put/remove bit source
@@ -88,7 +99,7 @@ std::vector<Op> record_stream(unsigned tid, unsigned phase) {
   ops.reserve(nops);
   for (unsigned i = 0; i < nops; ++i) {
     Op op;
-    const auto r = rng.next_bounded(19);
+    const auto r = rng.next_bounded(21);
     op.kind = r < 3   ? Op::kInsert
               : r < 6 ? Op::kPut
               : r < 8 ? Op::kUpdate
@@ -99,7 +110,8 @@ std::vector<Op> record_stream(unsigned tid, unsigned phase) {
               : r < 16 ? Op::kMultiRemove
               : r < 17 ? Op::kTxn
               : r < 18 ? Op::kCas
-                       : Op::kIncr;
+              : r < 19 ? Op::kIncr
+                       : Op::kScan;
     // Multi-ops use kMultiBatch consecutive keys starting at key; keep
     // the span inside the slice so the stream stays slice-local.
     op.key = base + rng.next_bounded(kSlice - kMultiBatch);
@@ -145,6 +157,18 @@ struct Reference {
     auto it = map.find(k);
     return it == map.end() ? std::nullopt : std::make_optional(it->second);
   }
+  /// Ordered view of [lo, hi) — the expected result of a store scan
+  /// over a slice-local window (deterministic: only the scanning thread
+  /// mutates keys in its slice).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> scan_window(
+      std::uint64_t lo, std::uint64_t hi) {
+    std::lock_guard<std::mutex> g(mu);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    for (const auto& [k, v] : map)
+      if (k >= lo && k < hi) out.emplace_back(k, v);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
   /// Atomic multi-key apply: ONE lock hold is the reference's commit,
   /// matching txn_commit's all-or-nothing contract.
   void txn(const std::vector<txn::TxnOp<std::uint64_t, std::uint64_t>>& ops) {
@@ -163,6 +187,7 @@ kv::KvConfig oracle_cfg() {
   kv::KvConfig c;
   c.shards = 4;
   c.buckets_per_shard = 64;
+  c.ordered_index = true;  // kScan stream ops go through the BST index
   c.tracker.max_threads = kThreads + 1;  // +1: the resize control thread
   c.tracker.max_hes = Store<TR>::kSlotsNeeded;
   c.tracker.era_freq = 8;
@@ -286,6 +311,28 @@ void replay(Store<TR>& store, Reference& ref, const std::vector<Op>& ops,
         ASSERT_EQ(store.incr(op.key, delta, tid), want);
         break;
       }
+      case Op::kScan: {
+        // Window inside this thread's slice (sometimes the whole slice,
+        // exercising the index-side chunk fences); the scan's visited
+        // sequence must be EXACTLY the reference's ordered view — same
+        // keys, same values, ascending, no duplicates.
+        const std::uint64_t base = 1 + tid * kSlice;
+        const std::uint64_t lo = op.key;
+        const std::uint64_t hi =
+            std::min(base + kSlice, lo + 1 + op.value % kSlice);
+        const auto want = ref.scan_window(lo, hi);
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+        const std::size_t visited = store.scan(
+            lo, hi - 1,
+            [&](std::uint64_t k, const std::uint64_t& v) {
+              got.emplace_back(k, v);
+              return true;
+            },
+            tid);
+        ASSERT_EQ(visited, want.size()) << "scan [" << lo << "," << hi << ")";
+        ASSERT_EQ(got, want) << "scan window [" << lo << "," << hi << ")";
+        break;
+      }
     }
   }
   store.flush_retired(tid);
@@ -353,6 +400,15 @@ void run_oracle(bool in_place, bool with_resize) {
       EXPECT_GE(r.nodes_retired, r.migrated_keys);
     }
   }
+  // Ordered-index lanes: the kScan stream ops must have gone through the
+  // BST (ops and visited keys both tick), and at quiescence the index
+  // domain's ledger closes on its own 3-blocks-per-live-key identity
+  // (leaf + internal + value cell; sentinels pre-subtracted).
+  ASSERT_TRUE(st.ordered_index);
+  EXPECT_GT(st.scan_ops, 0u);
+  EXPECT_GT(st.scan_keys, 0u);
+  test::expect_block_balance(st.index, store.size_unsafe(), "oracle index",
+                             /*blocks_per_live_key=*/3);
 }
 
 template <class TR>

@@ -19,7 +19,7 @@ using namespace wfe;
 reclaim::TrackerConfig model_cfg() {
   reclaim::TrackerConfig c;
   c.max_threads = 2;
-  c.max_hes = 5;
+  c.max_hes = ds::NatarajanBst<std::uint64_t, core::WfeTracker>::kSlotsNeeded;
   c.era_freq = 4;
   c.cleanup_freq = 2;
   return c;

@@ -945,7 +945,9 @@ TEST(ObsStress, SamplerVsResizeAndPersist) {
     EXPECT_LE(store.metrics()->sampler()->history().size(),
               cfg.metrics.sample_ring);
     const obs::RegistrySnapshot last = store.metrics()->sampler()->latest();
-    EXPECT_EQ(last.histograms.size(), 9u);
+    // One histogram per op lane (get/put/remove/insert/multi/scan) plus
+    // the wal fsync/commit-wait/append and slow-path lanes.
+    EXPECT_EQ(last.histograms.size(), 10u);
     EXPECT_FALSE(last.gauges.empty());
   }
   std::filesystem::remove_all(dir);

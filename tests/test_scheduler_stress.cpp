@@ -35,7 +35,7 @@ void perturb(util::Xoshiro256& rng) {
 reclaim::TrackerConfig stress_cfg(unsigned threads) {
   reclaim::TrackerConfig cfg;
   cfg.max_threads = threads;
-  cfg.max_hes = 5;
+  cfg.max_hes = ds::NatarajanBst<std::uint64_t, core::WfeTracker>::kSlotsNeeded;
   cfg.era_freq = 2;     // maximum era-clock pressure
   cfg.cleanup_freq = 1; // scan on every retire: maximum reclamation pressure
   return cfg;

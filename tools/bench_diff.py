@@ -7,6 +7,9 @@ Usage:
     --out FILE        trajectory output (default BENCH_trajectory.json)
     --threshold X     allowed within-run ratio degradation (default 0.08)
     --sat-threshold X allowed goodput droop past the knee   (default 0.10)
+    --scan-threshold X  minimum under-write-load per-scanner scan rate
+                      as a fraction of the same cell's upd=0 baseline
+                      (default 0.40)
     --expect-modes M  comma list of modes each file MUST contain
                       (e.g. "saturation"); missing modes are a
                       malformed-input error, not a silent pass
@@ -34,6 +37,15 @@ host seconds apart, where the methodology noise mostly cancels:
     beyond threshold means migration left the table structurally worse.
   * persist rows: wal_durable_lag must be 0 when sync=always (a
     correctness property of the durable gate, not a perf number).
+  * scan rows (per tracker x width x thread-count cell): per-scanner
+    keys/s with concurrent writers must hold --scan-threshold of the
+    SAME cell's upd=0 baseline — protection-disciplined range scans
+    may restart on helped deletions, but write traffic must degrade
+    them, not starve them.
+  * bst_upsert rows (per tracker x thread-count pair): the in-place
+    value-cell upsert must beat the remove+insert path on the
+    50%-update mix — the tombstone refactor's headline claim, judged
+    within one interleaved run per tracker.
   * saturation rows (per tracker x thread-count group): the admission
     acceptance gate.  Controller-ON goodput at >=2x the measured
     capacity must hold within --sat-threshold of that group's own peak
@@ -124,6 +136,26 @@ def summarize(path, meta, rows):
                 or 0, 4)
             s["median_aa_ratio"] = round(
                 median([r["aa_ratio"] for r in rs if "aa_ratio" in r]) or 0, 4)
+        if mode == "scan":
+            rates = [
+                r["keys_per_scanner_sec"]
+                for r in rs
+                if "keys_per_scanner_sec" in r
+            ]
+            if rates:
+                s["median_keys_per_scanner_sec"] = round(median(rates), 1)
+            restarts = [r["scan_restarts"] for r in rs if "scan_restarts" in r]
+            if restarts:
+                s["total_scan_restarts"] = sum(restarts)
+        if mode == "bst_upsert":
+            for up in ("inplace", "copy"):
+                m = median([
+                    float(need(r, "mops", path, mode))
+                    for r in rs
+                    if r.get("upsert") == up
+                ])
+                if m is not None:
+                    s["median_mops_%s" % up] = round(m, 4)
         if mode == "saturation":
             for ctrl in ("on", "off"):
                 good = [
@@ -201,7 +233,68 @@ def check_saturation(path, rows, sat_threshold):
     return findings
 
 
-def check(path, rows, threshold, sat_threshold):
+def check_scan(path, rows, scan_threshold):
+    """Per-cell scan interference gate: writers degrade, never starve."""
+    findings = []
+    cells = {}
+    for r in rows:
+        key = (r.get("tracker", "?"), r.get("scan_width", "?"),
+               r.get("threads", "?"))
+        cells.setdefault(key, []).append(r)
+    for (tracker, width, threads), rs in sorted(cells.items()):
+        where = "%s %s width=%s t=%s" % (path, tracker, width, threads)
+
+        def rate(r):
+            return float(need(r, "keys_per_scanner_sec", path, "scan"))
+
+        base = [r for r in rs if need(r, "upd_pct", path, "scan") == 0]
+        loaded = [r for r in rs if r["upd_pct"] != 0]
+        if loaded and not base:
+            raise MalformedInput(
+                "%s: scan rows under write load but no upd=0 baseline row "
+                "in the same (tracker, width, threads) cell" % where)
+        if not base:
+            continue
+        baseline = max(rate(r) for r in base)
+        for r in loaded:
+            if rate(r) < scan_threshold * baseline:
+                findings.append(
+                    "%s upd=%s%%: per-scanner scan rate %.0f keys/s below "
+                    "%.0f%% of the upd=0 baseline %.0f — concurrent writers "
+                    "are starving the range scans"
+                    % (where, r["upd_pct"], rate(r), scan_threshold * 100,
+                       baseline))
+    return findings
+
+
+def check_bst_upsert(path, rows):
+    """In-place value-cell upsert must beat remove+insert, per tracker."""
+    findings = []
+    pairs = {}
+    for r in rows:
+        key = (r.get("tracker", "?"), r.get("threads", "?"))
+        up = need(r, "upsert", path, "bst_upsert")
+        if up not in ("inplace", "copy"):
+            raise MalformedInput(
+                "%s: bst_upsert row has upsert=%r (want 'inplace'/'copy')"
+                % (path, up))
+        pairs.setdefault(key, {})[up] = float(need(r, "mops", path,
+                                                   "bst_upsert"))
+    for (tracker, threads), p in sorted(pairs.items()):
+        where = "%s %s t=%s" % (path, tracker, threads)
+        if "inplace" not in p or "copy" not in p:
+            raise MalformedInput(
+                "%s: bst_upsert cell is missing its %s row"
+                % (where, "copy" if "copy" not in p else "inplace"))
+        if p["inplace"] < p["copy"]:
+            findings.append(
+                "%s: in-place upsert %.3f Mops/s loses to remove+insert "
+                "%.3f — the value-cell fast path is not paying for itself"
+                % (where, p["inplace"], p["copy"]))
+    return findings
+
+
+def check(path, rows, threshold, sat_threshold, scan_threshold):
     """Within-run regression checks; returns a list of findings.
 
     The ratio gates judge per-file MEDIANS, not individual rows: on a
@@ -211,9 +304,14 @@ def check(path, rows, threshold, sat_threshold):
     """
     findings = []
     on_off, aa, post_fresh, sat_rows = [], [], [], []
+    scan_rows, bst_rows = [], []
     for r in rows:
         mode = r.get("mode")
-        if mode == "obs_overhead":
+        if mode == "scan":
+            scan_rows.append(r)
+        elif mode == "bst_upsert":
+            bst_rows.append(r)
+        elif mode == "obs_overhead":
             on_off.append(need(r, "on_off_ratio", path, mode))
             aa.append(need(r, "aa_ratio", path, mode))
         elif mode == "resize":
@@ -248,6 +346,10 @@ def check(path, rows, threshold, sat_threshold):
                 % (path, (1.0 - ratio) * 100, ratio))
     if sat_rows:
         findings.extend(check_saturation(path, sat_rows, sat_threshold))
+    if scan_rows:
+        findings.extend(check_scan(path, scan_rows, scan_threshold))
+    if bst_rows:
+        findings.extend(check_bst_upsert(path, bst_rows))
     return findings
 
 
@@ -262,6 +364,7 @@ def main():
     ap.add_argument("--out", default="BENCH_trajectory.json")
     ap.add_argument("--threshold", type=float, default=0.08)
     ap.add_argument("--sat-threshold", type=float, default=0.10)
+    ap.add_argument("--scan-threshold", type=float, default=0.40)
     ap.add_argument("--expect-modes", default="",
                     help="comma list of modes every file must contain")
     ap.add_argument("--warn-only", action="store_true")
@@ -282,7 +385,8 @@ def main():
                         % (path, m, ", ".join(sorted(present)) or "none"))
             trajectory.append(summarize(path, meta, rows))
             findings.extend(
-                check(path, rows, args.threshold, args.sat_threshold))
+                check(path, rows, args.threshold, args.sat_threshold,
+                      args.scan_threshold))
     except MalformedInput as e:
         print("MALFORMED INPUT: %s" % e, file=sys.stderr)
         return 2
@@ -304,6 +408,12 @@ def main():
             if "median_on_off_ratio" in s:
                 line += " obs=%.3f(aa=%.3f)" % (s["median_on_off_ratio"],
                                                 s["median_aa_ratio"])
+            if "median_keys_per_scanner_sec" in s:
+                line += " scan=%.0fk/s" % (
+                    s["median_keys_per_scanner_sec"] / 1e3)
+            if "median_mops_inplace" in s:
+                line += " bst_up=%.2f/%.2f" % (
+                    s["median_mops_inplace"], s.get("median_mops_copy", 0))
             if "peak_goodput_on" in s:
                 line += " sat_on=%.2f/off=%.2f" % (
                     s["peak_goodput_on"], s.get("peak_goodput_off", 0))

@@ -28,7 +28,7 @@ FRAME_TYPES = {1: "marker", 2: "trace", 3: "snapshot", 4: "stall", 5: "pad"}
 
 OP_NAMES = [
     "get", "put", "insert", "update", "remove",
-    "multi_get", "multi_put", "multi_remove", "wal_append", "stall",
+    "multi_get", "multi_put", "multi_remove", "scan", "wal_append", "stall",
 ]
 CAUSE_NAMES = [
     "none", "frozen-wait", "help-migration", "wal-backpressure",
